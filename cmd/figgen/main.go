@@ -1,0 +1,404 @@
+// Command figgen regenerates the data series behind every figure in the
+// paper's evaluation (Section V) and writes them as CSV files under
+// results/ (or prints to stdout with -stdout).
+//
+// Usage:
+//
+//	figgen [-out results] [-stdout] [-full] [-runs N] [fig11 fig12 fig13 fig14 fig15 fig16 overhead perf]
+//
+// With no figure arguments, every figure is generated. -full evaluates
+// the Monte-Carlo figures (14, 15, 16) at the paper's 1 GB geometry
+// instead of the scaled geometry (minutes instead of seconds); the
+// closed-form figures (11, 12, 13) always use the paper geometry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"securityrbsg/internal/analytic"
+	"securityrbsg/internal/asciiplot"
+	"securityrbsg/internal/core"
+	"securityrbsg/internal/lifetime"
+	"securityrbsg/internal/parallel"
+	"securityrbsg/internal/perfmodel"
+	"securityrbsg/internal/stats"
+	"securityrbsg/internal/wear"
+	"securityrbsg/internal/workload"
+)
+
+func main() {
+	outDir := flag.String("out", "results", "directory for CSV output")
+	toStdout := flag.Bool("stdout", false, "print CSVs to stdout instead of files")
+	full := flag.Bool("full", false, "run Monte-Carlo figures at the paper's 1 GB geometry")
+	runs := flag.Int("runs", 5, "random-key trials to average (the paper uses 5)")
+	plot := flag.Bool("plot", false, "also draw ASCII charts on stdout")
+	flag.Parse()
+
+	figs := flag.Args()
+	if len(figs) == 0 {
+		figs = []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "overhead", "perf"}
+	}
+
+	g := &generator{outDir: *outDir, stdout: *toStdout, full: *full, runs: *runs, plot: *plot}
+	for _, f := range figs {
+		var err error
+		switch f {
+		case "fig11":
+			err = g.fig11()
+		case "fig12":
+			err = g.fig12()
+		case "fig13":
+			err = g.fig13()
+		case "fig14":
+			err = g.fig14()
+		case "fig15":
+			err = g.fig15()
+		case "fig16":
+			err = g.fig16()
+		case "overhead":
+			err = g.overhead()
+		case "perf":
+			err = g.perf()
+		default:
+			err = fmt.Errorf("unknown figure %q", f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figgen: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type generator struct {
+	outDir string
+	stdout bool
+	full   bool
+	runs   int
+	plot   bool
+}
+
+// emit writes one CSV-formatted table.
+func (g *generator) emit(name string, write func(io.Writer) error) error {
+	if g.stdout {
+		fmt.Printf("# %s\n", name)
+		if err := write(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+	if err := os.MkdirAll(g.outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(g.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// fig11: RBSG lifetime under RTA (regions × interval grid) and RAA.
+func (g *generator) fig11() error {
+	d := lifetime.PaperDevice()
+	err := g.emit("fig11_rbsg_rta_vs_raa.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "regions,interval,rta_seconds,raa_seconds,raa_over_rta")
+		for _, r := range []uint64{32, 64, 128} {
+			for _, psi := range []uint64{16, 32, 64, 100} {
+				p := lifetime.RBSGParams{Regions: r, Interval: psi}
+				rta := lifetime.RTAOnRBSG(d, p)
+				raa := lifetime.RAAOnRBSG(d, p)
+				fmt.Fprintf(w, "%d,%d,%.1f,%.0f,%.0f\n",
+					r, psi, rta.Seconds, raa.Seconds, raa.Seconds/rta.Seconds)
+			}
+		}
+		return nil
+	})
+	if err == nil && g.plot {
+		labels := []string{}
+		vals := []float64{}
+		for _, r := range []uint64{32, 64, 128} {
+			for _, psi := range []uint64{16, 100} {
+				labels = append(labels, fmt.Sprintf("R=%d ψ=%d", r, psi))
+				vals = append(vals, lifetime.RTAOnRBSG(d, lifetime.RBSGParams{Regions: r, Interval: psi}).Seconds)
+			}
+		}
+		fmt.Print(asciiplot.Bars("Fig 11 — RBSG lifetime under RTA (seconds)", labels, vals, 40))
+	}
+	return err
+}
+
+// srGrid is Table I of the paper.
+func srGrid(f func(p lifetime.SRParams)) {
+	for _, regions := range []uint64{256, 512, 1024} {
+		for _, inner := range []uint64{16, 32, 64, 128} {
+			for _, outer := range []uint64{16, 32, 64, 128, 256} {
+				f(lifetime.SRParams{Regions: regions, InnerInterval: inner, OuterInterval: outer})
+			}
+		}
+	}
+}
+
+// fig12: two-level SR lifetime under RTA over the Table-I grid.
+func (g *generator) fig12() error {
+	d := lifetime.PaperDevice()
+	return g.emit("fig12_sr_rta.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "subregions,inner,outer,lifetime_days")
+		srGrid(func(p lifetime.SRParams) {
+			e := lifetime.RTAOnTwoLevelSRAvg(d, p, g.runs, 1)
+			fmt.Fprintf(w, "%d,%d,%d,%.2f\n",
+				p.Regions, p.InnerInterval, p.OuterInterval, analytic.SecondsToDays(e.Seconds))
+		})
+		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(d.IdealSeconds()))
+		return nil
+	})
+}
+
+// fig13: two-level SR lifetime under RAA over the Table-I grid.
+func (g *generator) fig13() error {
+	d := lifetime.PaperDevice()
+	return g.emit("fig13_sr_raa.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "subregions,inner,outer,lifetime_days,fraction_of_ideal")
+		srGrid(func(p lifetime.SRParams) {
+			e := lifetime.RAAOnTwoLevelSR(d, p)
+			fmt.Fprintf(w, "%d,%d,%d,%.0f,%.3f\n",
+				p.Regions, p.InnerInterval, p.OuterInterval,
+				analytic.SecondsToDays(e.Seconds), e.FractionOfIdeal)
+		})
+		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(d.IdealSeconds()))
+		return nil
+	})
+}
+
+// srbsgGeometry picks the device/params geometry for the Monte-Carlo
+// figures: paper scale with -full, the ratio-preserving scaled geometry
+// otherwise. Lifetimes are reported via fraction-of-ideal either way.
+func (g *generator) srbsgGeometry(stages int) (lifetime.Device, lifetime.SRBSGParams) {
+	if g.full {
+		d := lifetime.PaperDevice()
+		p := lifetime.SuggestedSRBSGParams()
+		p.Stages = stages
+		return d, p
+	}
+	return lifetime.ScaledSRBSGExperiment(stages)
+}
+
+// fig14: Security RBSG lifetime vs DFN stage count under RAA and BPA,
+// with the two-level SR RAA level for comparison.
+func (g *generator) fig14() error {
+	paper := lifetime.PaperDevice()
+	srRAA := lifetime.RAAOnTwoLevelSR(paper, lifetime.SuggestedSRParams())
+	var raaSeries, bpaSeries []float64
+	err := g.emit("fig14_stage_sweep.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "stages,raa_fraction_of_ideal,raa_days_at_1GB,bpa_fraction_of_ideal")
+		type row struct {
+			raa, bpa float64
+		}
+		rows, err := parallel.MapErr(18, 0, func(i int) (row, error) {
+			d, p := g.srbsgGeometry(i + 3)
+			raa, err := lifetime.RAAOnSecurityRBSGAvg(d, p, g.runs, 42)
+			if err != nil {
+				return row{}, err
+			}
+			return row{raa.FractionOfIdeal, lifetime.BPAOnSecurityRBSG(d, p).FractionOfIdeal}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			raaSeries = append(raaSeries, 100*r.raa)
+			bpaSeries = append(bpaSeries, 100*r.bpa)
+			fmt.Fprintf(w, "%d,%.3f,%.0f,%.3f\n",
+				i+3, r.raa,
+				analytic.SecondsToDays(r.raa*paper.IdealSeconds()),
+				r.bpa)
+		}
+		fmt.Fprintf(w, "# two-level SR under RAA: %.3f of ideal (%.0f days)\n",
+			srRAA.FractionOfIdeal, analytic.SecondsToDays(srRAA.Seconds))
+		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(paper.IdealSeconds()))
+		return nil
+	})
+	if err == nil && g.plot {
+		fmt.Print(asciiplot.Chart{
+			Title: "Fig 14 — Security RBSG lifetime vs DFN stages (% of ideal)",
+			XLeft: "3 stages", XRight: "20 stages",
+			MinY: 0, MaxY: 100,
+		}.Render(
+			asciiplot.Series{Name: "RAA", Y: raaSeries},
+			asciiplot.Series{Name: "BPA", Y: bpaSeries},
+		))
+	}
+	return err
+}
+
+// fig15: Security RBSG lifetime under RAA over the Table-I grid.
+func (g *generator) fig15() error {
+	paper := lifetime.PaperDevice()
+	type cell struct{ regions, inner, outer uint64 }
+	var grid []cell
+	for _, regions := range []uint64{256, 512, 1024} {
+		for _, inner := range []uint64{16, 32, 64, 128} {
+			for _, outer := range []uint64{16, 32, 64, 128, 256} {
+				grid = append(grid, cell{regions, inner, outer})
+			}
+		}
+	}
+	return g.emit("fig15_srbsg_raa.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "subregions,inner,outer,fraction_of_ideal,days_at_1GB")
+		fracs, err := parallel.MapErr(len(grid), 0, func(i int) (float64, error) {
+			c := grid[i]
+			var d lifetime.Device
+			p := lifetime.SRBSGParams{
+				Regions: c.regions, InnerInterval: c.inner,
+				OuterInterval: c.outer, Stages: 7,
+			}
+			if g.full {
+				d = lifetime.PaperDevice()
+			} else {
+				// Preserve m ≈ 191 and scale the region count with the
+				// 16x-smaller line count.
+				p.Regions = c.regions / 16
+				lines := uint64(1) << 18
+				quantum := (lines/p.Regions + 1) * p.InnerInterval
+				d = lifetime.ScaledDevice(lines, 191*quantum)
+			}
+			e, err := lifetime.RAAOnSecurityRBSGAvg(d, p, g.runs, 7)
+			return e.FractionOfIdeal, err
+		})
+		if err != nil {
+			return err
+		}
+		for i, c := range grid {
+			fmt.Fprintf(w, "%d,%d,%d,%.3f,%.0f\n",
+				c.regions, c.inner, c.outer, fracs[i],
+				analytic.SecondsToDays(fracs[i]*paper.IdealSeconds()))
+		}
+		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(paper.IdealSeconds()))
+		return nil
+	})
+}
+
+// fig16: normalized accumulated writes across the address space after
+// 10^10..10^13 RAA writes.
+func (g *generator) fig16() error {
+	var d lifetime.Device
+	var p lifetime.SRBSGParams
+	var totals []float64
+	if g.full {
+		d = lifetime.PaperDevice()
+		p = lifetime.SuggestedSRBSGParams()
+		totals = []float64{1e10, 1e11, 1e12, 1e13}
+	} else {
+		d, p = lifetime.ScaledSRBSGExperiment(7)
+		// Scale the write totals with the line count (2^18 vs 2^22).
+		totals = []float64{1e10 / 16, 1e11 / 16, 1e12 / 16, 1e13 / 16}
+	}
+	const points = 64
+	var plotSeries []asciiplot.Series
+	err := g.emit("fig16_write_distribution.csv", func(w io.Writer) error {
+		fmt.Fprint(w, "address_fraction")
+		for _, t := range totals {
+			fmt.Fprintf(w, ",cum_at_%.0e", t)
+		}
+		fmt.Fprintln(w)
+		series := make([][]float64, len(totals))
+		for i, total := range totals {
+			counts, err := lifetime.WriteDistribution(d, p, total, 11)
+			if err != nil {
+				return err
+			}
+			pts := make([]int, points)
+			for k := range pts {
+				pts[k] = (k + 1) * len(counts) / points
+			}
+			series[i] = stats.NormalizedCumulative(counts, pts)
+		}
+		for k := 0; k < points; k++ {
+			fmt.Fprintf(w, "%.4f", float64(k+1)/points)
+			for i := range totals {
+				fmt.Fprintf(w, ",%.4f", series[i][k])
+			}
+			fmt.Fprintln(w)
+		}
+		for i, total := range totals {
+			plotSeries = append(plotSeries, asciiplot.Series{
+				Name: fmt.Sprintf("%.0e", total), Y: series[i],
+			})
+		}
+		return nil
+	})
+	if err == nil && g.plot {
+		fmt.Print(asciiplot.Chart{
+			Title: "Fig 16 — normalized accumulated writes (diagonal = uniform)",
+			XLeft: "0", XRight: "address space",
+			MinY: 0, MaxY: 1,
+		}.Render(plotSeries...))
+	}
+	return err
+}
+
+// overhead: the Section V-C-3 hardware-cost table.
+func (g *generator) overhead() error {
+	return g.emit("overhead.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "stages,register_bits,register_kb,spare_pcm_bytes,sram_mbits,gates")
+		for _, s := range []int{3, 6, 7, 10, 20} {
+			o := analytic.ComputeOverhead(analytic.OverheadParams{
+				Lines: 1 << 22, Regions: 512,
+				InnerInterval: 64, OuterInterval: 128,
+				Stages: s, LineBytes: 256,
+			})
+			fmt.Fprintf(w, "%d,%d,%.2f,%d,%.2f,%d\n",
+				s, o.RegisterBits, float64(o.RegisterBits)/8/1024,
+				o.SparePCMBytes, float64(o.SRAMBits)/1e6, o.Gates)
+		}
+		return nil
+	})
+}
+
+// perf: the Section V-C-4 IPC-impact table.
+func (g *generator) perf() error {
+	cfg := perfmodel.DefaultConfig()
+	if !g.full {
+		cfg.RequestsPerCore = 6000
+	}
+	return g.emit("perf_impact.csv", func(w io.Writer) error {
+		fmt.Fprintln(w, "inner_interval,benchmark,suite,baseline_ipc,scheme_ipc,degradation_pct")
+		for _, psi := range []uint64{32, 64, 128} {
+			factory := func(lines uint64) (wear.Scheme, error) {
+				return core.New(core.Config{
+					Lines: lines, Regions: 64, InnerInterval: psi,
+					OuterInterval: 128, Stages: 7, Seed: 7,
+				})
+			}
+			all := append(append([]workload.Profile{}, workload.PARSEC...), workload.SPEC...)
+			results, _, err := perfmodel.RunSuite(cfg, all, factory)
+			if err != nil {
+				return err
+			}
+			var sums = map[string][2]float64{}
+			for _, r := range results {
+				fmt.Fprintf(w, "%d,%s,%s,%.4f,%.4f,%.3f\n",
+					psi, r.Name, r.Suite, r.BaselineIPC, r.SchemeIPC, r.DegradationPct)
+				s := sums[r.Suite]
+				s[0] += r.DegradationPct
+				s[1]++
+				sums[r.Suite] = s
+			}
+			for suite, s := range sums {
+				fmt.Fprintf(w, "# ψ=%d %s average degradation: %.2f%%\n",
+					psi, strings.ToUpper(suite), s[0]/s[1])
+			}
+		}
+		return nil
+	})
+}

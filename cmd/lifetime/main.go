@@ -1,0 +1,130 @@
+// Command lifetime evaluates the lifetime of one (scheme, attack,
+// configuration) triple at paper scale, or compares every scheme at the
+// recommended configurations.
+//
+// Usage:
+//
+//	lifetime [-scheme none|start-gap|rbsg|two-level-sr|security-rbsg]
+//	         [-attack raa|bpa|rta]
+//	         [-regions R] [-inner ψ] [-outer ψ] [-stages S] [-runs N]
+//	lifetime -compare
+//
+// All results are for the paper's device: a 1 GB PCM bank of 256 B lines
+// with 10^8 write endurance, SET/RESET/READ = 1000/125/125 ns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"securityrbsg/internal/analytic"
+	"securityrbsg/internal/lifetime"
+)
+
+func main() {
+	scheme := flag.String("scheme", "security-rbsg", "wear-leveling scheme")
+	attackName := flag.String("attack", "rta", "attack: raa, bpa or rta")
+	regions := flag.Uint64("regions", 512, "sub-regions (RBSG sweeps 32-128, SR/SRBSG 256-1024)")
+	inner := flag.Uint64("inner", 64, "inner remapping interval (RBSG: the only interval)")
+	outer := flag.Uint64("outer", 128, "outer remapping interval")
+	stages := flag.Int("stages", 7, "DFN stages (security-rbsg only)")
+	runs := flag.Int("runs", 5, "random-key trials to average")
+	compare := flag.Bool("compare", false, "print the cross-scheme comparison table")
+	flag.Parse()
+
+	d := lifetime.PaperDevice()
+	if *compare {
+		compareAll(d, *runs)
+		return
+	}
+
+	e, err := evaluate(d, *scheme, *attackName, lifetime.SRBSGParams{
+		Regions: *regions, InnerInterval: *inner, OuterInterval: *outer, Stages: *stages,
+	}, *runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lifetime:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheme=%s attack=%s\n", e.Scheme, e.Attack)
+	fmt.Printf("  attacker writes to first failure: %.3g\n", e.Writes)
+	fmt.Printf("  device lifetime: %s (%.1f%% of ideal %s)\n",
+		analytic.HumanDuration(e.Seconds), 100*e.FractionOfIdeal,
+		analytic.HumanDuration(d.IdealSeconds()))
+}
+
+func evaluate(d lifetime.Device, scheme, att string, p lifetime.SRBSGParams, runs int) (lifetime.Estimate, error) {
+	sr := lifetime.SRParams{Regions: p.Regions, InnerInterval: p.InnerInterval, OuterInterval: p.OuterInterval}
+	rb := lifetime.RBSGParams{Regions: p.Regions, Interval: p.InnerInterval}
+	switch scheme + "/" + att {
+	case "none/raa", "none/bpa", "none/rta":
+		return lifetime.Baseline(d), nil
+	case "start-gap/raa":
+		return lifetime.RAAOnStartGap(d, p.InnerInterval), nil
+	case "rbsg/raa":
+		return lifetime.RAAOnRBSG(d, rb), nil
+	case "rbsg/bpa":
+		return lifetime.BPAOnRBSG(d, rb), nil
+	case "rbsg/rta":
+		return lifetime.RTAOnRBSG(d, rb), nil
+	case "multiway-sr/focused", "multiway-sr/rta":
+		return lifetime.FocusedOnMultiWay(d, p.Regions, p.InnerInterval), nil
+	case "two-level-sr/raa":
+		return lifetime.RAAOnTwoLevelSR(d, sr), nil
+	case "two-level-sr/bpa":
+		return lifetime.BPAOnTwoLevelSR(d, sr), nil
+	case "two-level-sr/rta":
+		return lifetime.RTAOnTwoLevelSRAvg(d, sr, runs, 1), nil
+	case "security-rbsg/raa":
+		return lifetime.RAAOnSecurityRBSGAvg(d, p, runs, 42)
+	case "security-rbsg/bpa":
+		return lifetime.BPAOnSecurityRBSG(d, p), nil
+	case "security-rbsg/rta":
+		e, secure, err := lifetime.RTAOnSecurityRBSG(d, p, 42)
+		if err == nil && !secure {
+			fmt.Fprintf(os.Stderr, "warning: %d stages leak at outer interval %d (need %d)\n",
+				p.Stages, p.OuterInterval, analytic.MinStages(p.OuterInterval, d.AddressBits()))
+		}
+		return e, err
+	default:
+		return lifetime.Estimate{}, fmt.Errorf("unsupported combination %s/%s", scheme, att)
+	}
+}
+
+// compareAll prints the headline comparison: every scheme at its
+// recommended configuration under each attack.
+func compareAll(d lifetime.Device, runs int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	fmt.Fprintln(w, "scheme\tattack\tlifetime\tfraction of ideal")
+	rows := []struct {
+		scheme, attack string
+		p              lifetime.SRBSGParams
+	}{
+		{"none", "raa", lifetime.SRBSGParams{}},
+		{"rbsg", "raa", lifetime.SRBSGParams{Regions: 32, InnerInterval: 100}},
+		{"rbsg", "bpa", lifetime.SRBSGParams{Regions: 32, InnerInterval: 100}},
+		{"rbsg", "rta", lifetime.SRBSGParams{Regions: 32, InnerInterval: 100}},
+		{"multiway-sr", "focused", srbsgDefaults()},
+		{"two-level-sr", "raa", srbsgDefaults()},
+		{"two-level-sr", "rta", srbsgDefaults()},
+		{"security-rbsg", "raa", srbsgDefaults()},
+		{"security-rbsg", "bpa", srbsgDefaults()},
+		{"security-rbsg", "rta", srbsgDefaults()},
+	}
+	for _, r := range rows {
+		e, err := evaluate(d, r.scheme, r.attack, r.p, runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lifetime: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f%%\n",
+			r.scheme, r.attack, analytic.HumanDuration(e.Seconds), 100*e.FractionOfIdeal)
+	}
+	fmt.Fprintf(w, "(ideal)\t—\t%s\t100%%\n", analytic.HumanDuration(d.IdealSeconds()))
+}
+
+func srbsgDefaults() lifetime.SRBSGParams {
+	return lifetime.SRBSGParams{Regions: 512, InnerInterval: 64, OuterInterval: 128, Stages: 7}
+}

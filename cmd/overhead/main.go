@@ -1,0 +1,55 @@
+// Command overhead prints the Section V-C-3 hardware-cost table of
+// Security RBSG for a configurable geometry, along with the security
+// condition that sizes the Dynamic Feistel Network.
+//
+// Usage:
+//
+//	overhead [-lines N] [-linebytes B] [-regions R] [-inner ψ] [-outer ψ] [-stages S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"securityrbsg/internal/analytic"
+)
+
+func main() {
+	lines := flag.Uint64("lines", 1<<22, "logical lines (2^22 = 1 GB of 256 B lines)")
+	lineBytes := flag.Uint64("linebytes", 256, "line size in bytes")
+	regions := flag.Uint64("regions", 512, "inner sub-regions")
+	inner := flag.Uint64("inner", 64, "inner remapping interval")
+	outer := flag.Uint64("outer", 128, "outer remapping interval")
+	stages := flag.Int("stages", 7, "DFN stages")
+	flag.Parse()
+
+	p := analytic.OverheadParams{
+		Lines: *lines, Regions: *regions,
+		InnerInterval: *inner, OuterInterval: *outer,
+		Stages: *stages, LineBytes: *lineBytes,
+	}
+	o := analytic.ComputeOverhead(p)
+	bits := analytic.Log2(*lines)
+
+	capGB := float64(*lines) * float64(*lineBytes) / (1 << 30)
+	fmt.Printf("Security RBSG hardware overhead — %.2f GB bank, %d-bit addresses, %d stages\n\n",
+		capGB, bits, *stages)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "registers\t%d bits\t(%.2f KB)\n", o.RegisterBits, float64(o.RegisterBits)/8/1024)
+	fmt.Fprintf(w, "spare PCM lines\t%d bytes\t(%d lines)\n", o.SparePCMBytes, o.SparePCMBytes / *lineBytes)
+	fmt.Fprintf(w, "isRemap SRAM\t%d bits\t(%.2f MB)\n", o.SRAMBits, float64(o.SRAMBits)/8/1024/1024)
+	fmt.Fprintf(w, "DFN logic\t%d gates\t((3/8)·S·B²)\n", o.Gates)
+	w.Flush()
+
+	min := analytic.MinStages(*outer, bits)
+	fmt.Printf("\nsecurity condition: S·B ≥ ψ_outer  ⇒  S ≥ %d for ψ_outer=%d, B=%d\n", min, *outer, bits)
+	if analytic.DetectionOutrunsKeys(*stages, bits, *outer) {
+		fmt.Printf("WARNING: %d stages LEAK at this configuration — RTA key detection\n", *stages)
+		fmt.Printf("completes before the DFN re-keys. Use at least %d stages.\n", min)
+		os.Exit(1)
+	}
+	fmt.Printf("%d stages are sufficient: the DFN re-keys before RTA can extract %d key bits.\n",
+		*stages, *stages*int(bits))
+}

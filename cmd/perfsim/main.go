@@ -1,0 +1,87 @@
+// Command perfsim runs the Section V-C-4 performance-impact experiment:
+// the IPC degradation Security RBSG inflicts on the PARSEC and SPEC
+// CPU2006 benchmark profiles under the paper's platform (8 cores, 8 MB
+// DRAM cache, 32-entry FR-FCFS queue, 10 ns translation).
+//
+// Usage:
+//
+//	perfsim [-suite parsec|spec|all] [-inner 32,64,128] [-requests N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"securityrbsg/internal/core"
+	"securityrbsg/internal/perfmodel"
+	"securityrbsg/internal/wear"
+	"securityrbsg/internal/workload"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "benchmark suite: parsec, spec or all")
+	intervals := flag.String("inner", "32,64,128", "comma-separated inner intervals to sweep")
+	requests := flag.Uint64("requests", 20000, "post-L3 memory requests per core")
+	verbose := flag.Bool("v", false, "print per-benchmark rows")
+	flag.Parse()
+
+	var profiles []workload.Profile
+	switch *suite {
+	case "parsec":
+		profiles = workload.PARSEC
+	case "spec":
+		profiles = workload.SPEC
+	case "all":
+		profiles = append(append([]workload.Profile{}, workload.PARSEC...), workload.SPEC...)
+	default:
+		fmt.Fprintf(os.Stderr, "perfsim: unknown suite %q\n", *suite)
+		os.Exit(1)
+	}
+
+	cfg := perfmodel.DefaultConfig()
+	cfg.RequestsPerCore = *requests
+
+	for _, field := range strings.Split(*intervals, ",") {
+		psi, err := strconv.ParseUint(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfsim: bad interval %q: %v\n", field, err)
+			os.Exit(1)
+		}
+		factory := func(lines uint64) (wear.Scheme, error) {
+			return core.New(core.Config{
+				Lines: lines, Regions: 64, InnerInterval: psi,
+				OuterInterval: 128, Stages: 7, Seed: 7,
+			})
+		}
+		results, _, err := perfmodel.RunSuite(cfg, profiles, factory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("inner interval ψ = %d (outer 128, 7 stages)\n", psi)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		sums := map[string][2]float64{}
+		for _, r := range results {
+			if *verbose {
+				fmt.Fprintf(w, "  %s\t%s\tIPC %.4f → %.4f\t%+.3f%%\n",
+					r.Name, r.Suite, r.BaselineIPC, r.SchemeIPC, -r.DegradationPct)
+			}
+			s := sums[r.Suite]
+			s[0] += r.DegradationPct
+			s[1]++
+			sums[r.Suite] = s
+		}
+		w.Flush()
+		for _, name := range []string{"parsec", "spec"} {
+			if s, ok := sums[name]; ok && s[1] > 0 {
+				fmt.Printf("  %s average degradation: %.2f%% (%d benchmarks)\n",
+					strings.ToUpper(name), s[0]/s[1], int(s[1]))
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,62 @@
+// Lifetime comparison: exercise the lifetime estimators across every
+// scheme and attack at the paper's 1 GB scale, and verify one of them
+// against a real write-by-write simulation at small scale.
+package main
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/analytic"
+	"securityrbsg/internal/attack"
+	"securityrbsg/internal/lifetime"
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/wear"
+)
+
+func main() {
+	d := lifetime.PaperDevice()
+	fmt.Printf("device: 1 GB bank, %d lines, endurance %g, ideal lifetime %s\n\n",
+		d.Lines, float64(d.Endurance), analytic.HumanDuration(d.IdealSeconds()))
+
+	fmt.Println("How long until a malicious writer kills a line?")
+	show := func(label string, e lifetime.Estimate) {
+		fmt.Printf("  %-38s %12s  (%.1f%% of ideal)\n",
+			label, analytic.HumanDuration(e.Seconds), 100*e.FractionOfIdeal)
+	}
+
+	show("no wear leveling, RAA", lifetime.Baseline(d))
+	rb := lifetime.RBSGParams{Regions: 32, Interval: 100}
+	show("RBSG (32 regions, ψ=100), RAA", lifetime.RAAOnRBSG(d, rb))
+	show("RBSG (32 regions, ψ=100), RTA", lifetime.RTAOnRBSG(d, rb))
+	sr := lifetime.SuggestedSRParams()
+	show("two-level SR (512/64/128), RAA", lifetime.RAAOnTwoLevelSR(d, sr))
+	show("two-level SR (512/64/128), RTA", lifetime.RTAOnTwoLevelSRAvg(d, sr, 5, 1))
+
+	sp := lifetime.SuggestedSRBSGParams()
+	raa, err := lifetime.RAAOnSecurityRBSGAvg(d, sp, 3, 42)
+	if err != nil {
+		panic(err)
+	}
+	show("Security RBSG (512/64/128, S=7), RAA", raa)
+	show("Security RBSG (512/64/128, S=7), BPA", lifetime.BPAOnSecurityRBSG(d, sp))
+	rta, secure, err := lifetime.RTAOnSecurityRBSG(d, sp, 42)
+	if err != nil {
+		panic(err)
+	}
+	show(fmt.Sprintf("Security RBSG, RTA (secure=%v)", secure), rta)
+
+	// The estimators are models; show one being validated against the
+	// real simulator at a size where a write-by-write run is feasible.
+	fmt.Println("\nModel vs exact simulation (RBSG under RAA, 256 lines, endurance 2000):")
+	small := lifetime.Device{Lines: 256, Endurance: 2000, Timing: pcm.DefaultTiming}
+	model := lifetime.RAAOnRBSG(small, lifetime.RBSGParams{Regions: 8, Interval: 4})
+	s := rbsg.MustNew(rbsg.Config{Lines: 256, Regions: 8, Interval: 4, Seed: 1})
+	c := wear.MustNewController(pcm.Config{
+		LineBytes: 256, Endurance: 2000, Timing: pcm.DefaultTiming,
+	}, s)
+	res := attack.RAA(c, 3, pcm.Mixed, 0)
+	fmt.Printf("  closed form: %.0f writes   simulator: %d writes   (%.1f%% apart)\n",
+		model.Writes, res.Writes,
+		100*(model.Writes-float64(res.Writes))/float64(res.Writes))
+}

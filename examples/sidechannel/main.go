@@ -1,0 +1,56 @@
+// Sidechannel: the smallest possible demonstration of the observation the
+// whole paper is built on — PCM write latency depends on the data, and a
+// wear-leveling movement's latency therefore leaks the *content* of the
+// line being moved, which a crafted memory image turns into an address
+// oracle.
+package main
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/attack"
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/startgap"
+	"securityrbsg/internal/wear"
+)
+
+func main() {
+	// A single Start-Gap region of 16 lines, remapping every 4 writes.
+	scheme, err := startgap.NewSingle(16, 4)
+	if err != nil {
+		panic(err)
+	}
+	ctrl, err := wear.NewController(pcm.Config{
+		LineBytes: 256, Endurance: 1 << 30, Timing: pcm.DefaultTiming,
+	}, scheme)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("1. The device asymmetry (Fig 1 / Section II-C):")
+	fmt.Printf("   write ALL-0: %4d ns (RESET pulses only)\n", ctrl.Write(0, pcm.Zeros))
+	fmt.Printf("   write ALL-1: %4d ns (SET pulses, 8x slower)\n", ctrl.Write(0, pcm.Ones))
+
+	// Craft the memory image: every line ALL-0 except line 9's data.
+	fmt.Println("\n2. Craft an image: ALL-0 everywhere, ALL-1 at the secret line (LA 9):")
+	attack.SweepZeros(ctrl, 16)
+	ctrl.Write(9, pcm.Ones)
+
+	// Now hammer any address and watch the remap latencies: every fourth
+	// write triggers a gap movement whose cost names the moved content.
+	fmt.Println("\n3. Hammer LA 0 and watch each movement's extra latency:")
+	for i := 0; i < 17*4; i++ {
+		ns := ctrl.Write(0, pcm.Zeros)
+		if extra := ns - 125; extra > 0 {
+			content := "ALL-0 line   (read+RESET)"
+			if extra >= 1125 {
+				content = "ALL-1 line!  (read+SET — that's LA 9 moving)"
+			}
+			fmt.Printf("   write %3d: movement cost %4d ns → moved an %s\n", i+1, extra, content)
+		}
+	}
+
+	fmt.Println("\nThe attacker never read anything — latency alone revealed when the")
+	fmt.Println("marked line was remapped, which is the primitive the Remapping Timing")
+	fmt.Println("Attack builds into full address recovery (see cmd/attackdemo).")
+}

@@ -1,0 +1,51 @@
+// Tuning: the security level of Security RBSG is its Dynamic Feistel
+// Network stage count. This example walks the trade-off the paper's
+// Section V-C-1 makes: enough stages to outrun RTA key detection, enough
+// to randomize RAA traffic, at acceptable hardware cost.
+package main
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/analytic"
+	"securityrbsg/internal/lifetime"
+)
+
+func main() {
+	paper := lifetime.PaperDevice()
+	bits := paper.AddressBits()
+	outer := uint64(128)
+
+	fmt.Printf("Choosing the DFN stage count for a 1 GB bank (B=%d bits, ψ_outer=%d)\n\n", bits, outer)
+
+	// Constraint 1: security. The keys must rotate before RTA extracts
+	// them: S·B ≥ ψ_outer.
+	min := analytic.MinStages(outer, bits)
+	fmt.Printf("security floor: S ≥ %d (S·B ≥ ψ_outer keeps key detection behind re-keying)\n\n", min)
+
+	// Constraint 2: lifetime under RAA (measured with the real cipher at
+	// the ratio-preserving scaled geometry) and hardware cost.
+	fmt.Printf("%-8s %-10s %-16s %-14s %-10s\n",
+		"stages", "secure?", "RAA lifetime", "(fraction)", "DFN gates")
+	for _, s := range []int{3, 4, 5, 6, 7, 8, 10, 14, 20} {
+		d, p := lifetime.ScaledSRBSGExperiment(s)
+		e, err := lifetime.RAAOnSecurityRBSGAvg(d, p, 3, 42)
+		if err != nil {
+			panic(err)
+		}
+		o := analytic.ComputeOverhead(analytic.OverheadParams{
+			Lines: paper.Lines, Regions: 512,
+			InnerInterval: 64, OuterInterval: outer,
+			Stages: s, LineBytes: 256,
+		})
+		secure := !analytic.DetectionOutrunsKeys(s, bits, outer)
+		fmt.Printf("%-8d %-10v %-16s %-14s %-10d\n",
+			s, secure,
+			analytic.HumanDuration(e.FractionOfIdeal*paper.IdealSeconds()),
+			fmt.Sprintf("(%.0f%% ideal)", 100*e.FractionOfIdeal),
+			o.Gates)
+	}
+
+	fmt.Println("\nThe paper picks 7: one above the security floor, at the knee of the")
+	fmt.Println("lifetime curve, for ~1.3k gates of cubing logic.")
+}

@@ -1,0 +1,3 @@
+module securityrbsg
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package asciiplot renders small line charts and bar charts as plain
+// text, so the experiment tools can show the paper's figures directly in
+// the terminal next to the CSV they write.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers distinguish overlapping series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders one or more series against a shared index axis (the
+// caller labels the x values). It returns a multi-line string.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the plot-area dimensions in characters
+	// (default 60×16).
+	Width, Height int
+	// XLabels annotates the first and last column (optional).
+	XLeft, XRight string
+	// YFormat formats axis values (default %.3g).
+	YFormat string
+	// MinY/MaxY fix the value range; when both are zero the range is
+	// taken from the data (padded 5%).
+	MinY, MaxY float64
+}
+
+// Render draws the series. Series may have different lengths; each is
+// stretched across the full width.
+func (c Chart) Render(series ...Series) string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	yf := c.YFormat
+	if yf == "" {
+		yf = "%.3g"
+	}
+	lo, hi := c.MinY, c.MaxY
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Y {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if math.IsInf(lo, 1) {
+			lo, hi = 0, 1
+		}
+		pad := (hi - lo) * 0.05
+		if pad == 0 {
+			pad = math.Abs(hi)*0.05 + 1e-9
+		}
+		lo -= pad
+		hi += pad
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		m := markers[si%len(markers)]
+		for col := 0; col < w; col++ {
+			// Stretch the series over the width.
+			idx := 0
+			if len(s.Y) > 1 {
+				idx = col * (len(s.Y) - 1) / (w - 1)
+			}
+			v := s.Y[idx]
+			row := h - 1 - int(float64(h-1)*(v-lo)/(hi-lo)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	topLabel := fmt.Sprintf(yf, hi)
+	botLabel := fmt.Sprintf(yf, lo)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	if c.XLeft != "" || c.XRight != "" {
+		gap := w - len(c.XLeft) - len(c.XRight)
+		if gap < 1 {
+			gap = 1
+		}
+		fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad),
+			c.XLeft, strings.Repeat(" ", gap), c.XRight)
+	}
+	if len(series) > 1 || (len(series) == 1 && series[0].Name != "") {
+		fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", pad))
+		for si, s := range series {
+			fmt.Fprintf(&b, "%c=%s  ", markers[si%len(markers)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart: one row per (label, value).
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(float64(width) * v / max)
+		}
+		if n < 0 {
+			n = 0
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", labelW, label, strings.Repeat("=", n), v)
+	}
+	return b.String()
+}

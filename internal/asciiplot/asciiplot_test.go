@@ -1,0 +1,92 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart{Title: "demo", Width: 20, Height: 5, XLeft: "a", XRight: "b"}.
+		Render(Series{Name: "s1", Y: []float64{0, 1, 2, 3}})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marker missing")
+	}
+	if !strings.Contains(out, "s1") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("x labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + x labels + legend
+	if len(lines) != 9 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestChartMonotoneSeriesSlopesUp(t *testing.T) {
+	out := Chart{Width: 10, Height: 5}.Render(Series{Y: []float64{0, 1, 2, 3, 4}})
+	rows := strings.Split(out, "\n")
+	first := strings.IndexByte(rows[0], '*') // top row holds the maximum
+	last := strings.IndexByte(rows[4], '*')  // bottom row holds the minimum
+	if first < last {
+		t.Fatalf("rising series should end high:\n%s", out)
+	}
+}
+
+func TestChartMultipleSeriesMarkers(t *testing.T) {
+	out := Chart{Width: 12, Height: 4}.Render(
+		Series{Name: "a", Y: []float64{1, 1}},
+		Series{Name: "b", Y: []float64{2, 2}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers expected:\n%s", out)
+	}
+}
+
+func TestChartEmptyAndFlat(t *testing.T) {
+	if out := (Chart{}).Render(); out == "" {
+		t.Fatal("empty chart should still render a frame")
+	}
+	out := Chart{Width: 8, Height: 3}.Render(Series{Y: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series must still plot:\n%s", out)
+	}
+}
+
+func TestChartFixedRangeClamps(t *testing.T) {
+	out := Chart{Width: 8, Height: 4, MinY: 0, MaxY: 1}.
+		Render(Series{Y: []float64{-5, 10}})
+	if !strings.Contains(out, "*") {
+		t.Fatal("out-of-range values must clamp, not vanish")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("attacks", []string{"raa", "rta"}, []float64{100, 25}, 20)
+	if !strings.Contains(out, "attacks") || !strings.Contains(out, "raa") {
+		t.Fatal("labels missing")
+	}
+	raaRow, rtaRow := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "raa") {
+			raaRow = l
+		}
+		if strings.HasPrefix(l, "rta") {
+			rtaRow = l
+		}
+	}
+	if strings.Count(raaRow, "=") <= strings.Count(rtaRow, "=") {
+		t.Fatalf("bar lengths should follow values:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("", []string{"x"}, []float64{0}, 10)
+	if !strings.Contains(out, "x") {
+		t.Fatal("zero-valued bar should still print its label")
+	}
+}

@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/wear"
+)
+
+// AIA runs the Address Inference Attack of the paper's Section II-B,
+// category 3: an adversary who has compromised the system and can infer
+// the current logical→physical mapping — trivially possible against any
+// *deterministic* wear-leveling scheme, whose decisions can be replayed
+// from the attacker's own write stream (the paper's case against the
+// table-based family).
+//
+// The attack pins one physical line: it hammers whichever logical
+// address currently maps to victimPA and re-infers the occupant whenever
+// the scheme migrates it away. Against randomized schemes the same code
+// runs but stands in for an implausibly strong oracle; comparing the two
+// quantifies how much of a scheme's security is key secrecy versus
+// structure.
+func AIA(c *wear.Controller, victimPA uint64, content pcm.Content, maxWrites uint64) Result {
+	r := runState{target: c, failed: failOracle(c), max: maxWrites}
+	scheme := c.Scheme()
+	occupant, ok := occupantOf(scheme, victimPA)
+	for !r.done() {
+		if !ok || scheme.Translate(occupant) != victimPA {
+			occupant, ok = occupantOf(scheme, victimPA)
+			if !ok {
+				// The victim line is momentarily unmapped (a gap/spare
+				// slot). Burn a write on the line next to it — same
+				// region, so the scheme's rotation advances and the
+				// victim comes back into use.
+				if neighbor, nok := occupantOf(scheme, victimPA+1); nok {
+					r.write(neighbor, content)
+				} else if neighbor, nok := occupantOf(scheme, victimPA-1); nok {
+					r.write(neighbor, content)
+				} else {
+					r.write(0, content)
+				}
+				continue
+			}
+		}
+		r.write(occupant, content)
+	}
+	return r.res
+}
+
+// occupantOf scans for the logical address currently mapped to pa.
+func occupantOf(s wear.Scheme, pa uint64) (uint64, bool) {
+	for la := uint64(0); la < s.LogicalLines(); la++ {
+		if s.Translate(la) == pa {
+			return la, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,70 @@
+package attack
+
+import (
+	"testing"
+
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/tablewl"
+	"securityrbsg/internal/wear"
+)
+
+// TestAIAKillsTableWL is the paper's Section II-B argument against
+// table-based wear leveling: the scheme is deterministic, so an informed
+// adversary pins one physical line through every migration and kills it
+// in little more than endurance writes.
+func TestAIAKillsTableWL(t *testing.T) {
+	const endurance = 3000
+	s := tablewl.MustNew(tablewl.Config{Lines: 64, Interval: 8, HotThreshold: 4})
+	c := wear.MustNewController(bankCfg(endurance), s)
+	res := AIA(c, 42, pcm.Mixed, 0)
+	if !res.Failed {
+		t.Fatal("AIA did not fail the device")
+	}
+	if res.FailedPA != 42 {
+		t.Fatalf("AIA killed PA %d, wanted the pinned victim 42", res.FailedPA)
+	}
+	// Nearly every write lands on the victim: the overhead over raw
+	// endurance stays small.
+	if res.Writes > 3*endurance {
+		t.Fatalf("AIA needed %d writes for endurance %d — tracking is leaky", res.Writes, endurance)
+	}
+	t.Logf("AIA killed the pinned line in %d writes (endurance %d)", res.Writes, endurance)
+}
+
+// TestAIAVsRAAOnTableWL: against the same scheme, the informed attack is
+// far faster than blind hammering, which the hot-cold migration actually
+// spreads quite well.
+func TestAIAVsRAAOnTableWL(t *testing.T) {
+	const endurance = 3000
+	mk := func() *wear.Controller {
+		return wear.MustNewController(bankCfg(endurance),
+			tablewl.MustNew(tablewl.Config{Lines: 64, Interval: 8, HotThreshold: 4}))
+	}
+	aia := AIA(mk(), 42, pcm.Mixed, 0)
+	raa := RAA(mk(), 13, pcm.Mixed, 50_000_000)
+	if !aia.Failed {
+		t.Fatal("AIA must succeed")
+	}
+	if raa.Failed && raa.Writes < 4*aia.Writes {
+		t.Fatalf("RAA (%d writes) should be much slower than AIA (%d writes)",
+			raa.Writes, aia.Writes)
+	}
+	t.Logf("table WL: AIA %d writes; RAA %v writes (failed=%v)", aia.Writes, raa.Writes, raa.Failed)
+}
+
+// TestAIAKillsRBSGWithOracle: with an (implausible) full-mapping oracle
+// even RBSG pins — showing its security rests entirely on the mapping
+// staying secret, which is precisely what the RTA breaks through timing.
+func TestAIAKillsRBSGWithOracle(t *testing.T) {
+	const endurance = 2000
+	s := rbsg.MustNew(rbsg.Config{Lines: 256, Regions: 8, Interval: 4, Seed: 11})
+	c := wear.MustNewController(bankCfg(endurance), s)
+	res := AIA(c, 100, pcm.Mixed, 0)
+	if !res.Failed || res.FailedPA != 100 {
+		t.Fatalf("oracle AIA should pin PA 100: %+v", res)
+	}
+	if res.Writes > 3*endurance {
+		t.Fatalf("oracle AIA needed %d writes for endurance %d", res.Writes, endurance)
+	}
+}

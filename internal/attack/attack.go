@@ -1,0 +1,135 @@
+// Package attack implements the three malicious write-stream families the
+// paper studies, against any wear-leveled PCM target:
+//
+//   - RAA, the Repeated Address Attack: hammer one logical address.
+//   - BPA, the Birthday Paradox Attack: hammer randomly chosen logical
+//     addresses, each until it has plausibly been remapped away.
+//   - RTA, the Remapping Timing Attack introduced by the paper: craft
+//     ALL-0/ALL-1 write patterns and watch per-write latency to catch the
+//     scheme's remapping movements, recovering mapping secrets one bit at
+//     a time. Variants target RBSG (rta_rbsg.go) and Security Refresh
+//     (rta_sr.go), and rta_srbsg.go shows the attempt failing against
+//     Security RBSG.
+//
+// Attackers interact with memory only through the Target interface —
+// logical reads and writes with observed latency — which is exactly the
+// paper's threat model (compromised OS, caches bypassed, scheme public,
+// keys secret).
+package attack
+
+import (
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/stats"
+	"securityrbsg/internal/wear"
+)
+
+// Target is the attacker's view of memory: the logical interface of a
+// wear.Controller. Latencies are in nanoseconds and include any remapping
+// movement triggered by the request — the timing side channel.
+type Target interface {
+	Write(la uint64, content pcm.Content) uint64
+	Read(la uint64) (pcm.Content, uint64)
+}
+
+// Result summarizes an attack run.
+type Result struct {
+	// Writes is the number of demand writes the attacker issued.
+	Writes uint64
+	// AttackNs is the attacker-observed elapsed time (sum of latencies).
+	AttackNs uint64
+	// Failed reports whether the attack wore some line past endurance.
+	Failed bool
+	// FailedPA is the physical line that failed first (when Failed).
+	FailedPA uint64
+}
+
+// runState tracks progress against a stop condition shared by all attacks.
+type runState struct {
+	target Target
+	failed func() (uint64, bool)
+	max    uint64
+	res    Result
+}
+
+// failOracle builds the default device-failure oracle for a controller.
+func failOracle(c *wear.Controller) func() (uint64, bool) {
+	return func() (uint64, bool) {
+		pa, _, ok := c.Bank().FirstFailure()
+		return pa, ok
+	}
+}
+
+func (r *runState) done() bool {
+	if pa, ok := r.failed(); ok {
+		r.res.Failed = true
+		r.res.FailedPA = pa
+		return true
+	}
+	return r.max > 0 && r.res.Writes >= r.max
+}
+
+func (r *runState) write(la uint64, c pcm.Content) uint64 {
+	ns := r.target.Write(la, c)
+	r.res.Writes++
+	r.res.AttackNs += ns
+	return ns
+}
+
+// RAA runs the Repeated Address Attack: write content to la until a line
+// fails or maxWrites demand writes have been issued (0 = unbounded). The
+// paper's generic attacker writes ordinary data, so content defaults to
+// Mixed when the zero value is not what you want — pass explicitly.
+func RAA(c *wear.Controller, la uint64, content pcm.Content, maxWrites uint64) Result {
+	r := runState{target: c, failed: failOracle(c), max: maxWrites}
+	for !r.done() {
+		r.write(la, content)
+	}
+	return r.res
+}
+
+// BPA runs the Birthday Paradox Attack: pick a uniformly random logical
+// address, hammer it hammerWrites times (enough that the scheme has
+// plausibly remapped it — the attacker uses its knowledge of the Line
+// Vulnerability Factor), then pick another, until a line fails or
+// maxWrites writes have been issued (0 = unbounded).
+func BPA(c *wear.Controller, hammerWrites uint64, content pcm.Content, seed, maxWrites uint64) Result {
+	if hammerWrites == 0 {
+		hammerWrites = 1
+	}
+	rng := stats.NewRNG(seed)
+	n := c.Scheme().LogicalLines()
+	r := runState{target: c, failed: failOracle(c), max: maxWrites}
+	for !r.done() {
+		la := rng.Uint64n(n)
+		for i := uint64(0); i < hammerWrites && !r.done(); i++ {
+			r.write(la, content)
+		}
+	}
+	return r.res
+}
+
+// SweepPattern writes one line to every logical address: ALL-0 where bit
+// `bit` of the address is 0, ALL-1 where it is 1 — Step 4 of the RTA
+// against RBSG and Step 3 against Security Refresh. It returns the demand
+// writes issued and the observed time.
+func SweepPattern(t Target, lines uint64, bit uint) (writes, ns uint64) {
+	for la := uint64(0); la < lines; la++ {
+		c := pcm.Zeros
+		if la>>bit&1 == 1 {
+			c = pcm.Ones
+		}
+		ns += t.Write(la, c)
+		writes++
+	}
+	return writes, ns
+}
+
+// SweepZeros writes ALL-0 to every logical address — Step 1 of both RTA
+// variants.
+func SweepZeros(t Target, lines uint64) (writes, ns uint64) {
+	for la := uint64(0); la < lines; la++ {
+		ns += t.Write(la, pcm.Zeros)
+		writes++
+	}
+	return writes, ns
+}

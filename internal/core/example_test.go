@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/core"
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/wear"
+)
+
+// Example shows the minimal Security RBSG setup: a scheme over a small
+// logical space wired to a PCM bank through the controller.
+func Example() {
+	scheme, err := core.New(core.Config{
+		Lines:         1 << 10,
+		Regions:       8,
+		InnerInterval: 16,
+		OuterInterval: 32,
+		Stages:        7,
+		Seed:          1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ctrl, err := wear.NewController(pcm.Config{
+		LineBytes: 256,
+		Endurance: 1_000_000,
+	}, scheme)
+	if err != nil {
+		panic(err)
+	}
+
+	ns := ctrl.Write(42, pcm.Mixed)
+	fmt.Printf("write took %d ns\n", ns)
+	content, _ := ctrl.Read(42)
+	fmt.Printf("read back %v\n", content)
+	// Output:
+	// write took 1000 ns
+	// read back MIXED
+}
+
+// ExampleSuggestedConfig shows the paper's recommended 1 GB configuration.
+func ExampleSuggestedConfig() {
+	cfg := core.SuggestedConfig(1 << 22)
+	fmt.Printf("regions=%d inner=%d outer=%d stages=%d\n",
+		cfg.Regions, cfg.InnerInterval, cfg.OuterInterval, cfg.Stages)
+	// Output:
+	// regions=512 inner=64 outer=128 stages=7
+}
+
+// ExampleScheme_Translate demonstrates that the mapping is dynamic: after
+// enough writes for a remapping round, logical lines move.
+func ExampleScheme_Translate() {
+	scheme := core.MustNew(core.Config{
+		Lines: 256, Regions: 8, InnerInterval: 4, OuterInterval: 4,
+		Stages: 7, Seed: 3,
+	})
+	ctrl := wear.MustNewController(pcm.Config{
+		LineBytes: 256, Endurance: 1 << 30,
+	}, scheme)
+
+	before := scheme.Translate(7)
+	for scheme.Rounds() < 1 {
+		ctrl.Write(7, pcm.Zeros)
+	}
+	after := scheme.Translate(7)
+	fmt.Println("moved:", before != after)
+	// Output:
+	// moved: true
+}

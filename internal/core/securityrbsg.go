@@ -1,0 +1,447 @@
+// Package core implements Security Region-Based Start-Gap (Security RBSG),
+// the wear-leveling scheme this paper contributes.
+//
+// Security RBSG is a two-level dynamic mapping:
+//
+//   - The outer level — Security-Level Adjustable Dynamic Mapping — maps
+//     logical addresses (LA) to intermediate addresses (IA) through a
+//     Dynamic Feistel Network (DFN): a multi-stage Feistel network whose
+//     stage keys are re-drawn every remapping round. One spare line, a Gap
+//     register, per-line isRemap bits and the two key arrays Kc (current)
+//     and Kp (previous) let the mapping migrate incrementally, one line
+//     move every OuterInterval writes (Figs 8–10 of the paper). Because
+//     the keys change before a Remapping Timing Attack can finish
+//     extracting them, the outer level is what provides security, and the
+//     stage count S is the adjustable security level.
+//
+//   - The inner level splits the IA space into equal sub-regions and runs
+//     the plain Start-Gap algorithm in each, which keeps ordinary write
+//     traffic uniform at negligible cost.
+//
+// Two departures from the paper's Fig 9 pseudocode are documented here
+// because they are load-bearing:
+//
+//  1. Multi-cycle rounds. The flowchart walks the cycle of the permutation
+//     ENC_Kp ∘ DEC_Kc that contains slot 0 and declares the round complete
+//     when that cycle closes. For random keys that permutation is not a
+//     single cycle, so lines on other cycles would silently flip from Kp
+//     to Kc translation without their data moving — a correctness bug.
+//     This implementation walks *every* cycle in turn (one movement per
+//     OuterInterval writes, as in the paper) and keeps translation exact
+//     at all times; tests verify the invariant after every movement.
+//
+//  2. Spare-line wear. Worse, with the paper's own cubing round function
+//     the key-change permutation has on the order of N/16 cycles, not the
+//     ~ln N of a random permutation (the cube map mod 2^(B/2) is far from
+//     a random function — e.g. its low output bit is linear in its input).
+//     The paper's migration parks each cycle's head in the single spare
+//     line, writing the spare once per cycle — tens of thousands of times
+//     per round at 1 GB scale — so the spare line would exceed its own
+//     endurance almost immediately. The default migration here therefore
+//     relocates each cycle in place with swaps (L−1 swaps per length-L
+//     cycle, like Security Refresh's pair swaps; remap wear lands evenly,
+//     two writes per line per round) and needs no spare line at all. The
+//     paper's spare-line walk remains available as MigrationMove for
+//     fidelity experiments; the core tests quantify its hotspot.
+package core
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/feistel"
+	"securityrbsg/internal/startgap"
+	"securityrbsg/internal/stats"
+	"securityrbsg/internal/wear"
+)
+
+// Migration selects how the outer level relocates a remapping round's
+// permutation cycles.
+type Migration int
+
+const (
+	// MigrationSwap (the default) rotates each cycle in place with swaps:
+	// no spare line, remap wear spread evenly. See the package comment.
+	MigrationSwap Migration = iota
+	// MigrationMove is the paper's Fig 8–9 walk: park the cycle head in
+	// the spare line, pull each line into the gap, unpark at the end. It
+	// concentrates one write per cycle on the spare line, which the
+	// cubing Feistel's cycle structure turns into a wear hotspot.
+	MigrationMove
+)
+
+// String names the migration strategy.
+func (m Migration) String() string {
+	if m == MigrationMove {
+		return "move"
+	}
+	return "swap"
+}
+
+// Config describes a Security RBSG instance.
+type Config struct {
+	// Lines is the logical address-space size N (power of two).
+	Lines uint64
+	// Regions is the number of inner Start-Gap sub-regions (must divide
+	// Lines). The paper evaluates 256–1024 with 512 suggested.
+	Regions uint64
+	// InnerInterval is the per-sub-region Start-Gap interval (suggested 64).
+	InnerInterval uint64
+	// OuterInterval is the DFN remapping interval counted over all bank
+	// writes (suggested 128).
+	OuterInterval uint64
+	// Stages is the DFN stage count — the security level. The paper
+	// recommends 7 (6 is the minimum that outruns RTA key detection at the
+	// suggested configuration; 7 adds lifetime margin).
+	Stages int
+	// Migration selects the cycle-relocation strategy (default
+	// MigrationSwap; see the package comment).
+	Migration Migration
+	// Seed seeds all key generation.
+	Seed uint64
+}
+
+// SuggestedConfig returns the paper's recommended configuration for a bank
+// of the given logical size: 512 sub-regions, inner interval 64, outer
+// interval 128, 7 DFN stages.
+func SuggestedConfig(lines uint64) Config {
+	return Config{
+		Lines:         lines,
+		Regions:       512,
+		InnerInterval: 64,
+		OuterInterval: 128,
+		Stages:        7,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Lines == 0 || c.Lines&(c.Lines-1) != 0 {
+		return fmt.Errorf("core: lines must be a power of two, got %d", c.Lines)
+	}
+	if c.Regions == 0 || c.Lines%c.Regions != 0 {
+		return fmt.Errorf("core: regions %d must divide lines %d", c.Regions, c.Lines)
+	}
+	if c.InnerInterval == 0 || c.OuterInterval == 0 {
+		return fmt.Errorf("core: intervals must be at least 1")
+	}
+	if c.Stages <= 0 {
+		return fmt.Errorf("core: need at least one DFN stage, got %d", c.Stages)
+	}
+	return nil
+}
+
+const noBufLA = ^uint64(0)
+
+// Scheme is a Security RBSG instance implementing wear.Scheme.
+type Scheme struct {
+	cfg       Config
+	bits      uint
+	perRegion uint64 // inner lines per sub-region n' = N/R
+	sparePA   uint64 // physical address of the outer spare line
+
+	kc, kp feistel.Permutation
+	rng    *stats.RNG
+
+	isRemap  []uint64 // bitset over logical addresses
+	remapped uint64   // population count of isRemap
+	inRound  bool     // a remapping round is in progress
+	scan     uint64   // next LA to consider as a cycle start
+
+	// MigrationMove state: gap is the empty IA slot (Lines when the spare
+	// is empty) and bufLA the LA parked in the spare.
+	gap   uint64
+	bufLA uint64
+
+	// MigrationSwap state: the current cycle's anchor slot and the LA
+	// whose (displaced) data currently sits there.
+	anchorSlot uint64
+	dispLA     uint64
+
+	regions []*startgap.Region
+
+	writeCount uint64 // outer-interval write counter
+	moves      uint64 // outer movements performed
+	rounds     uint64 // completed outer rounds
+	cycles     uint64 // permutation cycles walked (extra moves)
+}
+
+// New builds a Security RBSG scheme from cfg.
+func New(cfg Config) (*Scheme, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	bits := uint(0)
+	for v := cfg.Lines; v > 1; v >>= 1 {
+		bits++
+	}
+	s := &Scheme{
+		cfg:       cfg,
+		bits:      bits,
+		perRegion: cfg.Lines / cfg.Regions,
+		sparePA:   cfg.Regions * (cfg.Lines/cfg.Regions + 1),
+		rng:       stats.NewRNG(cfg.Seed),
+		isRemap:   make([]uint64, (cfg.Lines+63)/64),
+		bufLA:     noBufLA,
+		dispLA:    noBufLA,
+		gap:       cfg.Lines,
+	}
+	k := s.newPerm()
+	s.kc, s.kp = k, k
+	s.regions = make([]*startgap.Region, cfg.Regions)
+	for i := range s.regions {
+		base := uint64(i) * (s.perRegion + 1)
+		r, err := startgap.New(s.perRegion, cfg.InnerInterval, base)
+		if err != nil {
+			return nil, err
+		}
+		s.regions[i] = r
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Scheme {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// newPerm draws a fresh DFN permutation over the logical space. Odd
+// address widths run a one-bit-wider network under cycle walking.
+func (s *Scheme) newPerm() feistel.Permutation {
+	if s.bits%2 == 0 {
+		n, err := feistel.Random(s.bits, s.cfg.Stages, s.rng)
+		if err != nil {
+			panic(err) // unreachable: width validated at construction
+		}
+		return n
+	}
+	n, err := feistel.Random(s.bits+1, s.cfg.Stages, s.rng)
+	if err != nil {
+		panic(err)
+	}
+	w, err := feistel.NewWalker(n, s.cfg.Lines)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Name identifies the scheme.
+func (s *Scheme) Name() string { return "security-rbsg" }
+
+// Config returns the construction configuration.
+func (s *Scheme) Config() Config { return s.cfg }
+
+// LogicalLines returns N.
+func (s *Scheme) LogicalLines() uint64 { return s.cfg.Lines }
+
+// PhysicalLines returns R × (N/R + 1) plus, under MigrationMove, the outer
+// spare line.
+func (s *Scheme) PhysicalLines() uint64 {
+	p := s.cfg.Regions * (s.perRegion + 1)
+	if s.cfg.Migration == MigrationMove {
+		p++
+	}
+	return p
+}
+
+// LinesPerRegion returns the inner sub-region size N/R.
+func (s *Scheme) LinesPerRegion() uint64 { return s.perRegion }
+
+// Rounds returns the number of completed outer remapping rounds.
+func (s *Scheme) Rounds() uint64 { return s.rounds }
+
+// Moves returns the number of outer line movements performed.
+func (s *Scheme) Moves() uint64 { return s.moves }
+
+// Cycles returns the number of key-permutation cycles walked so far —
+// the quantity that exposes the cubing Feistel's cycle pathology.
+func (s *Scheme) Cycles() uint64 { return s.cycles }
+
+// Region returns inner sub-region i, for white-box tests.
+func (s *Scheme) Region(i int) *startgap.Region { return s.regions[i] }
+
+// CurrentKeys returns the current and previous DFN permutations, for
+// white-box tests and the lifetime estimators. Attackers never see these.
+func (s *Scheme) CurrentKeys() (kc, kp feistel.Permutation) { return s.kc, s.kp }
+
+func (s *Scheme) remappedBit(la uint64) bool {
+	return s.isRemap[la>>6]>>(la&63)&1 == 1
+}
+
+func (s *Scheme) setRemapped(la uint64) {
+	s.isRemap[la>>6] |= 1 << (la & 63)
+	s.remapped++
+}
+
+// Intermediate returns la's current intermediate address: ENC_Kc once
+// remapped this round, ENC_Kp before, and the spare slot (== Lines) while
+// its data is parked there mid-cycle. This is the Fig 10 translation,
+// generalized to multi-cycle rounds.
+func (s *Scheme) Intermediate(la uint64) uint64 {
+	if la >= s.cfg.Lines {
+		panic(fmt.Errorf("core: logical address %d out of space of %d lines", la, s.cfg.Lines))
+	}
+	if s.remappedBit(la) {
+		return s.kc.Encrypt(la)
+	}
+	if la == s.bufLA {
+		return s.cfg.Lines // parked in the spare (MigrationMove)
+	}
+	if la == s.dispLA {
+		return s.anchorSlot // displaced to the anchor (MigrationSwap)
+	}
+	return s.kp.Encrypt(la)
+}
+
+// translateIA maps an intermediate address (or the spare slot) to its
+// physical line via the inner Start-Gap regions.
+func (s *Scheme) translateIA(ia uint64) uint64 {
+	if ia == s.cfg.Lines {
+		return s.sparePA
+	}
+	return s.regions[ia/s.perRegion].Translate(ia % s.perRegion)
+}
+
+// Translate maps a logical address to its current physical line.
+func (s *Scheme) Translate(la uint64) uint64 {
+	return s.translateIA(s.Intermediate(la))
+}
+
+// NoteWrite books a demand write: the inner sub-region owning la's IA
+// counts it toward its Start-Gap interval, and the outer DFN counts it
+// toward its remapping interval.
+func (s *Scheme) NoteWrite(la uint64, m wear.Mover) uint64 {
+	ia := s.Intermediate(la)
+	var ns uint64
+	if ia != s.cfg.Lines { // writes to the parked line don't tick a region
+		ns = s.regions[ia/s.perRegion].NoteWrite(m)
+	}
+	s.writeCount++
+	if s.writeCount >= s.cfg.OuterInterval {
+		s.writeCount = 0
+		ns += s.outerMove(m)
+	}
+	return ns
+}
+
+// startRound rotates the keys and clears the remap state.
+func (s *Scheme) startRound() {
+	s.kp = s.kc
+	s.kc = s.newPerm()
+	for i := range s.isRemap {
+		s.isRemap[i] = 0
+	}
+	s.remapped = 0
+	s.scan = 0
+	s.inRound = true
+}
+
+// outerMove performs one DFN remapping movement under the configured
+// migration strategy.
+func (s *Scheme) outerMove(m wear.Mover) uint64 {
+	if s.cfg.Migration == MigrationSwap {
+		return s.outerMoveSwap(m)
+	}
+	return s.outerMoveSpare(m)
+}
+
+// outerMoveSwap advances the round by one in-place swap: the current
+// cycle's displaced line's data moves from the anchor slot to its ENC_Kc
+// target, displacing that slot's line to the anchor in turn. Fixed points
+// and cycle closes cost nothing and immediately proceed to real work.
+func (s *Scheme) outerMoveSwap(m wear.Mover) uint64 {
+	s.moves++
+	if !s.inRound {
+		s.startRound()
+	}
+	for {
+		if s.dispLA == noBufLA {
+			// Open the next cycle at the smallest unremapped LA. The
+			// "park" is virtual: the head's data already sits at its own
+			// ENC_Kp slot, which becomes the anchor.
+			for s.remappedBit(s.scan) {
+				s.scan++
+			}
+			s.dispLA = s.scan
+			s.anchorSlot = s.kp.Encrypt(s.dispLA)
+			s.cycles++
+		}
+		target := s.kc.Encrypt(s.dispLA)
+		if target == s.anchorSlot {
+			// The displaced data already sits at its new-key slot: the
+			// cycle closes (or was a fixed point) for free.
+			s.setRemapped(s.dispLA)
+			s.dispLA = noBufLA
+			if s.remapped == s.cfg.Lines {
+				s.inRound = false
+				s.rounds++
+				return 0
+			}
+			continue
+		}
+		ns := m.Swap(s.translateIA(s.anchorSlot), s.translateIA(target))
+		next := s.kp.Decrypt(target) // whose data was just displaced to the anchor
+		s.setRemapped(s.dispLA)
+		s.dispLA = next
+		return ns
+	}
+}
+
+// outerMoveSpare is the paper's Fig 8–9 walk: either starts a new round
+// (re-key, park the first cycle's head in the spare line) or advances the
+// current cycle by pulling the gap slot's designated line into place.
+func (s *Scheme) outerMoveSpare(m wear.Mover) uint64 {
+	s.moves++
+	if !s.inRound {
+		s.startRound()
+	}
+	if s.gap == s.cfg.Lines {
+		// No cycle in progress: park the next unremapped line's data in
+		// the spare, opening a gap at its old slot.
+		for s.remappedBit(s.scan) {
+			s.scan++
+		}
+		la := s.scan
+		src := s.kp.Encrypt(la)
+		ns := m.Move(s.translateIA(src), s.sparePA)
+		s.bufLA = la
+		s.gap = src
+		s.cycles++
+		return ns
+	}
+	// Advance the cycle: the line destined for the gap slot under the new
+	// keys moves in, opening a gap at its old slot — until the cycle
+	// closes back on the parked line.
+	loc := s.kc.Decrypt(s.gap)
+	if loc == s.bufLA {
+		ns := m.Move(s.sparePA, s.translateIA(s.gap))
+		s.setRemapped(loc)
+		s.bufLA = noBufLA
+		s.gap = s.cfg.Lines
+		if s.remapped == s.cfg.Lines {
+			s.inRound = false
+			s.rounds++
+		}
+		return ns
+	}
+	src := s.kp.Encrypt(loc)
+	ns := m.Move(s.translateIA(src), s.translateIA(s.gap))
+	s.setRemapped(loc)
+	s.gap = src
+	return ns
+}
+
+// MovesPerRound returns the expected outer movements in one remapping
+// round: N regular moves plus one extra per permutation cycle (≈ ln N for
+// a random permutation) — the paper's cost model with the multi-cycle
+// correction.
+func (s *Scheme) MovesPerRound() uint64 { return s.cfg.Lines + 1 }
+
+// WritesPerRound returns the approximate demand writes consumed by one
+// outer remapping round.
+func (s *Scheme) WritesPerRound() uint64 {
+	return s.MovesPerRound() * s.cfg.OuterInterval
+}

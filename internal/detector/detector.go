@@ -1,0 +1,145 @@
+// Package detector implements an online attack detector in the spirit of
+// Qureshi et al., HPCA'11 ("Practical and secure PCM systems by online
+// detection of malicious write streams"), which the paper cites as the
+// standard countermeasure to RAA/BPA — and whose interaction with the
+// Remapping Timing Attack the paper turns on its head: "increasing the
+// rate of wear leveling instead accelerates RTA" (Section III-B).
+//
+// The detector watches the share of write traffic each RBSG region
+// receives over a sliding window. Ordinary (even randomized) traffic
+// spreads across regions; a hammering adversary concentrates on one.
+// When a region's share crosses the alarm threshold the detector boosts
+// that region's wear-leveling rate by issuing extra gap movements — an
+// effective remapping interval of ψ/boost — and decays back to normal
+// when the traffic does.
+//
+// The package exists to reproduce the paper's argument quantitatively:
+// the boost helps against BPA (it shrinks the Line Vulnerability Factor)
+// but *shortens* lifetime under RTA, whose detection phase gets one
+// address bit per region rotation and therefore finishes sooner the
+// faster the region spins.
+package detector
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/wear"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Window is the number of writes per observation window.
+	Window uint64
+	// AlarmShare is the per-region traffic share that raises the alarm.
+	// With R regions, benign uniform traffic gives ≈1/R; the paper-style
+	// default is 8× that.
+	AlarmShare float64
+	// Boost multiplies the remapping rate of an alarmed region (extra
+	// movements per interval). Default 4.
+	Boost uint64
+	// Cooldown is the number of clean windows before an alarm clears.
+	Cooldown int
+}
+
+func (c *Config) normalize(regions uint64) {
+	if c.Window == 0 {
+		c.Window = 64 * regions
+	}
+	if c.AlarmShare == 0 {
+		c.AlarmShare = 8.0 / float64(regions)
+		if c.AlarmShare > 0.5 {
+			c.AlarmShare = 0.5 // small region counts: cap below certainty
+		}
+	}
+	if c.Boost == 0 {
+		c.Boost = 4
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 2
+	}
+}
+
+// AdaptiveRBSG wraps an RBSG scheme with the online detector. It
+// implements wear.Scheme; the wrapped scheme must not be driven directly
+// while wrapped.
+type AdaptiveRBSG struct {
+	*rbsg.Scheme
+	cfg Config
+
+	window   uint64   // writes in the current window
+	perRgn   []uint64 // per-region writes in the current window
+	alarmed  []int    // remaining cooldown windows per region (0 = clear)
+	alarms   uint64   // total alarms raised
+	boosted  uint64   // extra movements issued
+	regions  uint64
+	interval uint64
+}
+
+// NewAdaptiveRBSG wraps scheme with a detector configured by cfg.
+func NewAdaptiveRBSG(scheme *rbsg.Scheme, cfg Config) (*AdaptiveRBSG, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("detector: nil scheme")
+	}
+	regions := scheme.Config().Regions
+	cfg.normalize(regions)
+	return &AdaptiveRBSG{
+		Scheme:   scheme,
+		cfg:      cfg,
+		perRgn:   make([]uint64, regions),
+		alarmed:  make([]int, regions),
+		regions:  regions,
+		interval: scheme.Config().Interval,
+	}, nil
+}
+
+// Name identifies the wrapped scheme.
+func (a *AdaptiveRBSG) Name() string { return "rbsg+detector" }
+
+// Alarms returns how many times a region crossed the alarm threshold.
+func (a *AdaptiveRBSG) Alarms() uint64 { return a.alarms }
+
+// BoostedMovements returns the extra gap movements the detector issued.
+func (a *AdaptiveRBSG) BoostedMovements() uint64 { return a.boosted }
+
+// Alarmed reports whether region r is currently under alarm.
+func (a *AdaptiveRBSG) Alarmed(r uint64) bool { return a.alarmed[r] > 0 }
+
+// NoteWrite books the write, runs the base scheme's wear leveling, and —
+// for alarmed regions — issues Boost−1 additional gap movements per
+// interval, multiplying the region's remapping rate.
+func (a *AdaptiveRBSG) NoteWrite(la uint64, m wear.Mover) uint64 {
+	region := a.Intermediate(la) / a.LinesPerRegion()
+	a.perRgn[region]++
+	a.window++
+
+	ns := a.Scheme.NoteWrite(la, m)
+	if a.alarmed[region] > 0 && a.perRgn[region]%a.interval == 0 {
+		for i := uint64(1); i < a.cfg.Boost; i++ {
+			ns += a.Region(int(region)).MoveGap(m)
+			a.boosted++
+		}
+	}
+
+	if a.window >= a.cfg.Window {
+		a.closeWindow()
+	}
+	return ns
+}
+
+// closeWindow evaluates the alarm condition and resets the counters.
+func (a *AdaptiveRBSG) closeWindow() {
+	limit := uint64(a.cfg.AlarmShare * float64(a.cfg.Window))
+	for r := range a.perRgn {
+		if a.perRgn[r] >= limit {
+			if a.alarmed[r] == 0 {
+				a.alarms++
+			}
+			a.alarmed[r] = a.cfg.Cooldown
+		} else if a.alarmed[r] > 0 {
+			a.alarmed[r]--
+		}
+		a.perRgn[r] = 0
+	}
+	a.window = 0
+}

@@ -1,0 +1,241 @@
+package feistel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"securityrbsg/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, []uint64{1}); err == nil {
+		t.Error("odd width must fail")
+	}
+	if _, err := New(0, []uint64{1}); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := New(64, []uint64{1}); err == nil {
+		t.Error("width 64 must fail")
+	}
+	if _, err := New(8, nil); err == nil {
+		t.Error("no keys must fail")
+	}
+	if _, err := Random(8, 0, stats.NewRNG(1)); err == nil {
+		t.Error("zero stages must fail")
+	}
+}
+
+// TestEncryptDecryptInverse is the core property: Decrypt ∘ Encrypt = id
+// for every width, stage count and key material.
+func TestEncryptDecryptInverse(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for _, bits := range []uint{2, 4, 8, 10, 16, 22, 40, 62} {
+		for _, stages := range []int{1, 2, 3, 7, 20} {
+			n := MustRandom(bits, stages, rng)
+			f := func(x uint64) bool {
+				x &= (1 << bits) - 1
+				return n.Decrypt(n.Encrypt(x)) == x && n.Encrypt(n.Decrypt(x)) == x
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatalf("bits=%d stages=%d: %v", bits, stages, err)
+			}
+		}
+	}
+}
+
+// TestEncryptIsBijection enumerates a small domain and checks the
+// permutation property exhaustively.
+func TestEncryptIsBijection(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		n := MustRandom(10, 3, rng)
+		seen := make([]bool, 1<<10)
+		for x := uint64(0); x < 1<<10; x++ {
+			y := n.Encrypt(x)
+			if y >= 1<<10 {
+				t.Fatalf("output %d out of domain", y)
+			}
+			if seen[y] {
+				t.Fatalf("collision at output %d", y)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestPaperStageStructure(t *testing.T) {
+	// One stage: L' = R XOR (L XOR K)^3 (mod 2^half), R' = L — Fig 7.
+	n, err := New(8, []uint64{0x5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := uint64(0xA7) // L = 0xA, R = 0x7
+	l, r := uint64(0xA), uint64(0x7)
+	f := ((l ^ 0x5) * (l ^ 0x5) * (l ^ 0x5)) & 0xF
+	want := ((r ^ f) << 4) | l
+	if got := n.Encrypt(x); got != want {
+		t.Fatalf("Encrypt(0x%x) = 0x%x, want 0x%x", x, got, want)
+	}
+}
+
+func TestKeysAreCopied(t *testing.T) {
+	n := MustRandom(8, 3, stats.NewRNG(4))
+	keys := n.Keys()
+	before := n.Encrypt(5)
+	keys[0] ^= 0xff
+	if n.Encrypt(5) != before {
+		t.Fatal("mutating the returned key slice changed the network")
+	}
+	if n.Stages() != 3 || n.Bits() != 8 || n.Domain() != 256 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestDifferentKeysDifferentPermutation(t *testing.T) {
+	rng := stats.NewRNG(5)
+	a := MustRandom(16, 3, rng)
+	b := MustRandom(16, 3, rng)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if a.Encrypt(x) == b.Encrypt(x) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("independent networks agree on %d/1000 points", same)
+	}
+}
+
+func TestWalker(t *testing.T) {
+	rng := stats.NewRNG(6)
+	inner := MustRandom(8, 3, rng)
+	// Restrict to a non-power-of-two domain.
+	w, err := NewWalker(inner, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 200)
+	for x := uint64(0); x < 200; x++ {
+		y := w.Encrypt(x)
+		if y >= 200 {
+			t.Fatalf("walker escaped domain: %d", y)
+		}
+		if seen[y] {
+			t.Fatalf("walker collision at %d", y)
+		}
+		seen[y] = true
+		if w.Decrypt(y) != x {
+			t.Fatalf("walker not invertible at %d", x)
+		}
+	}
+	if w.Domain() != 200 {
+		t.Fatal("walker domain")
+	}
+	if _, err := NewWalker(inner, 0); err == nil {
+		t.Error("zero domain must fail")
+	}
+	if _, err := NewWalker(inner, 257); err == nil {
+		t.Error("oversized domain must fail")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(100)
+	if id.Encrypt(42) != 42 || id.Decrypt(42) != 42 || id.Domain() != 100 {
+		t.Fatal("identity broken")
+	}
+}
+
+func TestMatrixBijection(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, bits := range []uint{4, 8, 12} {
+		m, err := NewMatrix(bits, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, 1<<bits)
+		for x := uint64(0); x < 1<<bits; x++ {
+			y := m.Encrypt(x)
+			if y >= 1<<bits || seen[y] {
+				t.Fatalf("bits=%d: not a bijection at %d→%d", bits, x, y)
+			}
+			seen[y] = true
+			if m.Decrypt(y) != x {
+				t.Fatalf("bits=%d: inverse fails at %d", bits, x)
+			}
+		}
+	}
+}
+
+func TestMatrixIsLinear(t *testing.T) {
+	rng := stats.NewRNG(8)
+	m, err := NewMatrix(16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint64) bool {
+		a &= 0xffff
+		b &= 0xffff
+		return m.Encrypt(a^b) == m.Encrypt(a)^m.Encrypt(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Encrypt(0) != 0 {
+		t.Fatal("linear map must fix 0")
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, stats.NewRNG(1)); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := NewMatrix(63, stats.NewRNG(1)); err == nil {
+		t.Error("width >62 must fail")
+	}
+}
+
+func TestParity(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 3: 0, 7: 1, 0xff: 0, 1 << 63: 1}
+	for x, want := range cases {
+		if got := parity(x); got != want {
+			t.Errorf("parity(%x) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestLowStageBias documents the phenomenon behind Fig 14: for a FIXED
+// input, the distribution of Encrypt(x) over random keys is visibly
+// non-uniform at 3 stages and much flatter at 7 — the reason few-stage
+// DFNs lose lifetime under RAA.
+func TestLowStageBias(t *testing.T) {
+	const bits, draws = 12, 1 << 16
+	chi2 := func(stages int) float64 {
+		rng := stats.NewRNG(99)
+		counts := make([]float64, 1<<bits)
+		for i := 0; i < draws; i++ {
+			n := MustRandom(bits, stages, rng)
+			counts[n.Encrypt(5)]++
+		}
+		want := float64(draws) / (1 << bits)
+		var x2 float64
+		for _, c := range counts {
+			d := c - want
+			x2 += d * d / want
+		}
+		return x2
+	}
+	lo, hi := chi2(7), chi2(3)
+	if hi < 2*lo {
+		t.Fatalf("3-stage chi2 %.0f should dwarf 7-stage chi2 %.0f", hi, lo)
+	}
+}
+
+func BenchmarkEncrypt22Bit7Stage(b *testing.B) {
+	n := MustRandom(22, 7, stats.NewRNG(1))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += n.Encrypt(uint64(i) & (1<<22 - 1))
+	}
+	_ = sink
+}

@@ -1,0 +1,61 @@
+package feistel
+
+import (
+	"testing"
+
+	"securityrbsg/internal/stats"
+)
+
+// FuzzNetworkRoundTrip: for arbitrary widths, stage counts, key material
+// and inputs, Decrypt(Encrypt(x)) == x and outputs stay in the domain.
+func FuzzNetworkRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint8(3), uint64(12345), uint64(42))
+	f.Add(uint8(22), uint8(7), uint64(0), uint64(0))
+	f.Add(uint8(2), uint8(1), uint64(999), uint64(3))
+	f.Fuzz(func(t *testing.T, bitsRaw, stagesRaw uint8, keySeed, x uint64) {
+		bits := uint(bitsRaw)%31*2 + 2 // even, in [2, 62]
+		stages := int(stagesRaw)%20 + 1
+		n, err := Random(bits, stages, stats.NewRNG(keySeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x &= (1 << bits) - 1
+		y := n.Encrypt(x)
+		if y >= 1<<bits {
+			t.Fatalf("Encrypt(%d) = %d escapes the %d-bit domain", x, y, bits)
+		}
+		if back := n.Decrypt(y); back != x {
+			t.Fatalf("Decrypt(Encrypt(%d)) = %d (bits=%d stages=%d)", x, back, bits, stages)
+		}
+	})
+}
+
+// FuzzWalkerRoundTrip: cycle-walked restrictions stay bijective on
+// arbitrary sub-domains.
+func FuzzWalkerRoundTrip(f *testing.F) {
+	f.Add(uint8(8), uint64(200), uint64(7), uint64(150))
+	f.Add(uint8(4), uint64(9), uint64(1), uint64(3))
+	f.Fuzz(func(t *testing.T, bitsRaw uint8, domain, keySeed, x uint64) {
+		bits := uint(bitsRaw)%15*2 + 2 // even, in [2, 30]
+		max := uint64(1) << bits
+		if domain == 0 || domain > max {
+			domain = max/2 + 1
+		}
+		inner, err := Random(bits, 3, stats.NewRNG(keySeed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWalker(inner, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x %= domain
+		y := w.Encrypt(x)
+		if y >= domain {
+			t.Fatalf("walker escaped domain: %d >= %d", y, domain)
+		}
+		if back := w.Decrypt(y); back != x {
+			t.Fatalf("walker round trip failed at %d", x)
+		}
+	})
+}

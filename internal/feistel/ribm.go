@@ -1,0 +1,108 @@
+package feistel
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/stats"
+)
+
+// Matrix is a random invertible binary matrix (RIBM) permutation: address
+// bits are treated as a vector over GF(2) and multiplied by an invertible
+// B×B bit matrix. The RBSG paper offers this as an alternative to the
+// static Feistel network for address-space randomization; it is linear
+// (and therefore trivially breakable by an adaptive adversary) but spreads
+// spatially local write traffic just as well.
+//
+// Rows are stored as bit masks: row i of the matrix is rows[i], and
+// multiplying vector x yields bit i = parity(rows[i] & x).
+type Matrix struct {
+	bits uint
+	rows []uint64 // forward matrix rows
+	inv  []uint64 // inverse matrix rows
+}
+
+// NewMatrix draws a uniformly random invertible B×B binary matrix using
+// rejection sampling (a random binary matrix is invertible with probability
+// ≈ 0.289, so a handful of attempts suffice) and precomputes its inverse
+// by Gauss-Jordan elimination over GF(2).
+func NewMatrix(bits uint, rng *stats.RNG) (*Matrix, error) {
+	if bits == 0 || bits > 62 {
+		return nil, fmt.Errorf("feistel: matrix width must be in [1,62], got %d", bits)
+	}
+	m := &Matrix{bits: bits}
+	for attempt := 0; attempt < 256; attempt++ {
+		rows := make([]uint64, bits)
+		for i := range rows {
+			rows[i] = rng.Bits(bits)
+		}
+		if inv, ok := invertGF2(rows, bits); ok {
+			m.rows = rows
+			m.inv = inv
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("feistel: failed to draw an invertible %d-bit matrix", bits)
+}
+
+// invertGF2 returns the inverse of the matrix given by rows over GF(2), or
+// ok=false if the matrix is singular.
+func invertGF2(rows []uint64, bits uint) (inv []uint64, ok bool) {
+	a := append([]uint64(nil), rows...)
+	inv = make([]uint64, bits)
+	for i := range inv {
+		inv[i] = 1 << uint(i)
+	}
+	for col := uint(0); col < bits; col++ {
+		// Find a pivot row with bit `col` set.
+		pivot := -1
+		for r := int(col); r < int(bits); r++ {
+			if a[r]>>col&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		for r := uint(0); r < bits; r++ {
+			if r != col && a[r]>>col&1 == 1 {
+				a[r] ^= a[col]
+				inv[r] ^= inv[col]
+			}
+		}
+	}
+	return inv, true
+}
+
+// parity returns the XOR of all bits of x.
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+func apply(rows []uint64, x uint64) uint64 {
+	var y uint64
+	for i, r := range rows {
+		y |= parity(r&x) << uint(i)
+	}
+	return y
+}
+
+// Bits returns the permutation width B.
+func (m *Matrix) Bits() uint { return m.bits }
+
+// Domain returns the permutation domain size 2^B.
+func (m *Matrix) Domain() uint64 { return 1 << m.bits }
+
+// Encrypt multiplies x by the matrix over GF(2).
+func (m *Matrix) Encrypt(x uint64) uint64 { return apply(m.rows, x) }
+
+// Decrypt multiplies x by the inverse matrix over GF(2).
+func (m *Matrix) Decrypt(x uint64) uint64 { return apply(m.inv, x) }

@@ -1,0 +1,39 @@
+package lifetime_test
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/lifetime"
+)
+
+// Example evaluates the paper's headline numbers: the device dies in
+// minutes under the Remapping Timing Attack but months under blind
+// hammering.
+func Example() {
+	d := lifetime.PaperDevice()
+	p := lifetime.RBSGParams{Regions: 32, Interval: 100}
+	rta := lifetime.RTAOnRBSG(d, p)
+	raa := lifetime.RAAOnRBSG(d, p)
+	fmt.Printf("RTA: %.0f s\n", rta.Seconds)
+	fmt.Printf("RAA/RTA: %.0fx\n", raa.Seconds/rta.Seconds)
+	// Output:
+	// RTA: 489 s
+	// RAA/RTA: 26864x
+}
+
+// ExampleDevice_IdealSeconds shows the uniform-wear bound every figure
+// plots against.
+func ExampleDevice_IdealSeconds() {
+	d := lifetime.PaperDevice()
+	fmt.Printf("%.0f days\n", d.IdealSeconds()/86400)
+	// Output:
+	// 4855 days
+}
+
+// ExampleRTAOnTwoLevelSR reproduces the Fig 12 headline cell.
+func ExampleRTAOnTwoLevelSR() {
+	e := lifetime.RTAOnTwoLevelSR(lifetime.PaperDevice(), lifetime.SuggestedSRParams(), 0.75)
+	fmt.Printf("%.0f hours\n", e.Seconds/3600)
+	// Output:
+	// 179 hours
+}

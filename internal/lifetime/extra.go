@@ -1,0 +1,88 @@
+package lifetime
+
+import (
+	"math"
+
+	"securityrbsg/internal/stats"
+)
+
+// This file holds the secondary lifetime models: BPA against RBSG (the
+// attack that motivated Security Refresh), the focused sub-region attack
+// against Multi-Way SR (Section III-E's closing paragraph), and the
+// endurance-variation penalty (process variation, the [12] extension).
+
+// BPAOnRBSG models the Birthday Paradox Attack against RBSG: each
+// randomly chosen logical address is hammered for one Line Vulnerability
+// Factor ((n+1)·ψ writes), pinning one physical slot per trial; trials
+// land uniformly at random, so the first slot to accumulate E writes is
+// a generalized-birthday first passage. This is the attack for which
+// Seznec showed the LVF must sit "dozens of times" below the endurance.
+func BPAOnRBSG(d Device, p RBSGParams) Estimate {
+	n := d.Lines / p.Regions
+	lvf := (n + 1) * p.Interval
+	writes := uniformVisitLifetime(d, d.Lines, lvf)
+	perWrite := float64(d.Timing.SetNs) +
+		float64(d.Timing.ReadNs+d.Timing.SetNs)/float64(p.Interval)
+	return Estimate{
+		Scheme: "rbsg", Attack: "bpa",
+		Writes:          writes,
+		Seconds:         Seconds(writes, perWrite),
+		FractionOfIdeal: writes / d.IdealWrites(),
+	}
+}
+
+// FocusedOnMultiWay models the Section III-E observation that schemes
+// which split the space into *consecutive* sub-regions leveled
+// independently — Multi-Way SR — need no key detection at all: the
+// attacker knows from the address bits which logical lines share a
+// sub-region and simply floods one of them. Inner SR pins each hammered
+// line for one refresh round, so the sub-region's n lines absorb uniform
+// visits of n·ψ writes until one reaches endurance — a capacity of
+// roughly E·n·eff writes instead of the whole bank's E·N.
+func FocusedOnMultiWay(d Device, regions, interval uint64) Estimate {
+	n := d.Lines / regions
+	quantum := n * interval
+	m := int(math.Ceil(float64(d.Endurance) / float64(quantum)))
+	visits := stats.VisitsToMaxLoad(int(n), m)
+	writes := visits * float64(quantum)
+	perWrite := float64(d.Timing.SetNs) +
+		float64(2*d.Timing.ReadNs+d.Timing.ResetNs+d.Timing.SetNs)/2/float64(interval)
+	return Estimate{
+		Scheme: "multiway-sr", Attack: "focused",
+		Writes:          writes,
+		Seconds:         Seconds(writes, perWrite),
+		FractionOfIdeal: writes / d.IdealWrites(),
+	}
+}
+
+// VariationZ returns the expected standardized extreme (the z-score of
+// the weakest of `lines` i.i.d. normal endurance draws): the usual
+// asymptotic sqrt(2·ln N) with the log-log correction.
+func VariationZ(lines uint64) float64 {
+	if lines < 2 {
+		return 0
+	}
+	n := float64(lines)
+	l := math.Sqrt(2 * math.Log(n))
+	return l - (math.Log(math.Log(n))+math.Log(4*math.Pi))/(2*l)
+}
+
+// IdealWithVariation returns the ideal (perfectly uniform wear) lifetime
+// when per-line endurance varies as N(E, (σE)²): the device now dies at
+// the weakest line's budget, E·(1 − z·σ), shrinking the whole budget by
+// the same factor. Schemes cannot beat this without wear-rate leveling
+// (tracking actual remaining endurance, [12]) — which is exactly that
+// extension's motivation.
+func IdealWithVariation(d Device, sigma float64) Estimate {
+	factor := 1 - VariationZ(d.Lines)*sigma
+	if factor < 0.1 {
+		factor = 0.1 // the clamp NewVariedBank applies
+	}
+	writes := d.IdealWrites() * factor
+	return Estimate{
+		Scheme: "ideal", Attack: "uniform",
+		Writes:          writes,
+		Seconds:         Seconds(writes, float64(d.Timing.SetNs)),
+		FractionOfIdeal: factor,
+	}
+}

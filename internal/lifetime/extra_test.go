@@ -1,0 +1,139 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+
+	"securityrbsg/internal/attack"
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/secref"
+	"securityrbsg/internal/wear"
+)
+
+// TestBPAOnRBSGMatchesExactSim cross-validates the BPA model against the
+// real attack at small scale.
+func TestBPAOnRBSGMatchesExactSim(t *testing.T) {
+	d := Device{Lines: 256, Endurance: 3000, Timing: pcm.DefaultTiming}
+	p := RBSGParams{Regions: 8, Interval: 2}
+	model := BPAOnRBSG(d, p)
+
+	var sim float64
+	const runs = 4
+	for seed := uint64(0); seed < runs; seed++ {
+		s := rbsg.MustNew(rbsg.Config{Lines: 256, Regions: 8, Interval: 2, Seed: seed})
+		c := wear.MustNewController(pcm.Config{
+			LineBytes: 256, Endurance: 3000, Timing: pcm.DefaultTiming,
+		}, s)
+		res := attack.BPA(c, s.LineVulnerabilityFactor(), pcm.Mixed, seed+10, 0)
+		if !res.Failed {
+			t.Fatal("BPA did not fail")
+		}
+		sim += float64(res.Writes)
+	}
+	sim /= runs
+	if ratio := model.Writes / sim; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("model %v writes vs sim %v (ratio %.2f)", model.Writes, sim, ratio)
+	}
+}
+
+// TestBPASitsBetweenRTAAndIdeal: at paper scale BPA is far slower than
+// RTA but far faster than uniform wear-out — the ordering that motivated
+// the paper's security hierarchy.
+func TestBPAOrdering(t *testing.T) {
+	d := PaperDevice()
+	p := RBSGParams{Regions: 32, Interval: 100}
+	bpa := BPAOnRBSG(d, p)
+	rta := RTAOnRBSG(d, p)
+	if !(rta.Seconds < bpa.Seconds && bpa.Seconds < d.IdealSeconds()) {
+		t.Fatalf("ordering broken: rta=%v bpa=%v ideal=%v",
+			rta.Seconds, bpa.Seconds, d.IdealSeconds())
+	}
+}
+
+// TestFocusedOnMultiWayMatchesExactSim: flooding one consecutive
+// sub-region of Multi-Way SR matches the visit-process model.
+func TestFocusedOnMultiWayMatchesExactSim(t *testing.T) {
+	d := Device{Lines: 1 << 10, Endurance: 3000, Timing: pcm.DefaultTiming}
+	model := FocusedOnMultiWay(d, 8, 4)
+
+	var sim float64
+	const runs = 3
+	for seed := uint64(0); seed < runs; seed++ {
+		s, err := secref.NewMultiWay(1<<10, 8, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := wear.MustNewController(pcm.Config{
+			LineBytes: 256, Endurance: 3000, Timing: pcm.DefaultTiming,
+		}, s)
+		// Flood sub-region 2: hammer each of its lines for one inner
+		// round in turn.
+		n := uint64(1<<10) / 8
+		stint := n * 4
+		var writes uint64
+		for !c.Bank().Failed() {
+			la := 2*n + (writes/stint)%n
+			c.Write(la, pcm.Mixed)
+			writes++
+		}
+		pa, _, _ := c.Bank().FirstFailure()
+		if pa/n != 2 {
+			t.Fatalf("failure at PA %d, outside the flooded sub-region", pa)
+		}
+		sim += float64(writes)
+	}
+	sim /= runs
+	if ratio := model.Writes / sim; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("model %v writes vs sim %v (ratio %.2f)", model.Writes, sim, ratio)
+	}
+	// The focused attack caps the device at roughly 1/regions of ideal.
+	if model.FractionOfIdeal > 0.25 {
+		t.Fatalf("focused attack should trap wear in one sub-region: %v", model.FractionOfIdeal)
+	}
+}
+
+// TestVariationZ sanity: grows with N and sits near the textbook values.
+func TestVariationZ(t *testing.T) {
+	if VariationZ(1) != 0 {
+		t.Fatal("degenerate case")
+	}
+	z1k := VariationZ(1024)
+	z4m := VariationZ(1 << 22)
+	if !(z1k > 2.5 && z1k < 3.5) {
+		t.Fatalf("z(1024) = %v, want ≈3.2", z1k)
+	}
+	if z4m <= z1k || z4m > 6 {
+		t.Fatalf("z(4M) = %v", z4m)
+	}
+}
+
+// TestIdealWithVariationMatchesVariedBank: the closed form tracks a real
+// varied bank driven with perfectly uniform traffic.
+func TestIdealWithVariationMatchesVariedBank(t *testing.T) {
+	const lines, endurance, sigma = 1024, 500, 0.2
+	d := Device{Lines: lines, Endurance: endurance, Timing: pcm.DefaultTiming}
+	model := IdealWithVariation(d, sigma)
+
+	var sim float64
+	const runs = 3
+	for seed := uint64(0); seed < runs; seed++ {
+		b, err := pcm.NewVariedBank(pcm.Config{Lines: lines, Endurance: endurance}, sigma, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n uint64
+		for !b.Failed() {
+			b.Write(n%lines, pcm.Mixed)
+			n++
+		}
+		sim += float64(n)
+	}
+	sim /= runs
+	if ratio := model.Writes / sim; math.Abs(ratio-1) > 0.25 {
+		t.Fatalf("model %v writes vs sim %v (ratio %.2f)", model.Writes, sim, ratio)
+	}
+	if model.FractionOfIdeal >= 1 {
+		t.Fatal("variation must cost lifetime")
+	}
+}

@@ -1,0 +1,134 @@
+package lifetime
+
+import (
+	"math"
+
+	"securityrbsg/internal/stats"
+)
+
+// This file holds the two-level Security Refresh models behind Fig 12
+// (RTA) and Fig 13 (RAA).
+
+// SRParams are the Table-I configuration knobs.
+type SRParams struct {
+	Regions       uint64 // sub-regions: 256, 512, 1024 (512 suggested)
+	InnerInterval uint64 // inner ψ: 16–128 (64 suggested)
+	OuterInterval uint64 // outer ψ: 16–256 (128 suggested)
+}
+
+// SuggestedSRParams is the configuration Security Refresh recommends.
+func SuggestedSRParams() SRParams {
+	return SRParams{Regions: 512, InnerInterval: 64, OuterInterval: 128}
+}
+
+// srOverheadNsFixed returns the amortized remapping latency added to each
+// demand write: one inner refresh step per ψi writes to the hammered
+// sub-region and one outer step per ψo bank writes, both on pattern-mixed
+// data. Half the refresh steps perform no swap (the pair was already
+// done), so the expected per-step cost is swap/2.
+func srOverheadNsFixed(d Device, p SRParams) float64 {
+	swap := float64(2*d.Timing.ReadNs + d.Timing.ResetNs + d.Timing.SetNs)
+	return swap/2/float64(p.InnerInterval) + swap/2/float64(p.OuterInterval)
+}
+
+// RAAOnTwoLevelSR models hammering one logical address against two-level
+// Security Refresh (Fig 13).
+//
+// Within one inner refresh round the hammered address is pinned to one
+// physical line, which therefore absorbs the whole round's writes to that
+// sub-region — all of them, since the attacker is the only writer and all
+// its writes land there: a visit of quantum (N/R)·ψ_inner writes. Across
+// rounds the inner key (and, across outer rounds, the sub-region itself)
+// re-randomizes, so visits are uniform over all N lines and the lifetime
+// is the generalized birthday first-passage solved by the Poisson
+// extreme-value model. The paper finds RAA ≈ BPA for SR, which this model
+// makes explicit.
+func RAAOnTwoLevelSR(d Device, p SRParams) Estimate {
+	n := d.Lines / p.Regions
+	quantum := n * p.InnerInterval
+	writes := uniformVisitLifetime(d, d.Lines, quantum)
+	perWrite := float64(d.Timing.SetNs) + srOverheadNsFixed(d, p)
+	return Estimate{
+		Scheme: "two-level-sr", Attack: "raa",
+		Writes:          writes,
+		Seconds:         Seconds(writes, perWrite),
+		FractionOfIdeal: writes / d.IdealWrites(),
+	}
+}
+
+// BPAOnTwoLevelSR models the Birthday Paradox Attack: random logical
+// addresses hammered for one inner round each. The visit process is the
+// same as RAA's (the paper: "RAA has been proved to have the same effect
+// with BPA" for SR).
+func BPAOnTwoLevelSR(d Device, p SRParams) Estimate {
+	e := RAAOnTwoLevelSR(d, p)
+	e.Attack = "bpa"
+	return e
+}
+
+// RTAOnTwoLevelSR models the Remapping Timing Attack of Section III-E
+// (Fig 12) for one outer-key draw.
+//
+// Per outer round (N·ψ_outer writes) the attacker spends
+// keyFrac·N·log2(R) writes re-detecting the high outer-key bits that
+// locate the target sub-region (keyFrac ∈ [0.5, 1] depending on the key —
+// hence the paper's five random-key trials), then funnels every remaining
+// write into that sub-region. Inside it, inner SR pins each hammered
+// address for one inner round, so wear accumulates as uniform visits over
+// the n = N/R lines until one reaches endurance.
+func RTAOnTwoLevelSR(d Device, p SRParams, keyFrac float64) Estimate {
+	if keyFrac <= 0 {
+		keyFrac = 0.75
+	}
+	n := d.Lines / p.Regions
+	quantum := n * p.InnerInterval
+	m := int(math.Ceil(float64(d.Endurance) / float64(quantum)))
+	visits := stats.VisitsToMaxLoad(int(n), m)
+	intoRegion := visits * float64(quantum)
+
+	logR := float64(0)
+	for v := p.Regions - 1; v > 0; v >>= 1 {
+		logR++
+	}
+	round := float64(d.Lines) * float64(p.OuterInterval)
+	detect := keyFrac * float64(d.Lines) * logR
+	usable := round - detect
+	if usable <= 0 {
+		// Detection alone consumes the round: the attack degenerates to
+		// RAA (it can never exploit its knowledge).
+		return RAAOnTwoLevelSR(d, p)
+	}
+	rounds := math.Ceil(intoRegion / usable)
+	writes := rounds * round
+	// Hammer writes are generic (SET); detection sweeps are half-and-half.
+	hammerNs := (writes - rounds*detect) * float64(d.Timing.SetNs)
+	detectNs := rounds * detect * mixNs(d.Timing)
+	overheadNs := writes * srOverheadNsFixed(d, p)
+	return Estimate{
+		Scheme: "two-level-sr", Attack: "rta",
+		Writes:          writes,
+		Seconds:         (hammerNs + detectNs + overheadNs) * 1e-9,
+		FractionOfIdeal: writes / d.IdealWrites(),
+	}
+}
+
+// RTAOnTwoLevelSRAvg averages RTAOnTwoLevelSR over `runs` random keyFrac
+// draws in [0.5, 1] — the paper's five-trial averaging.
+func RTAOnTwoLevelSRAvg(d Device, p SRParams, runs int, seed uint64) Estimate {
+	if runs <= 0 {
+		runs = 5
+	}
+	rng := stats.NewRNG(seed)
+	var acc Estimate
+	for i := 0; i < runs; i++ {
+		e := RTAOnTwoLevelSR(d, p, 0.5+0.5*rng.Float64())
+		acc.Writes += e.Writes
+		acc.Seconds += e.Seconds
+		acc.FractionOfIdeal += e.FractionOfIdeal
+	}
+	acc.Scheme, acc.Attack = "two-level-sr", "rta"
+	acc.Writes /= float64(runs)
+	acc.Seconds /= float64(runs)
+	acc.FractionOfIdeal /= float64(runs)
+	return acc
+}

@@ -1,0 +1,70 @@
+// Package parallel provides the small deterministic fan-out helpers the
+// experiment harness uses to spread independent simulations across CPU
+// cores: indexed work with results written to index-addressed slots, so
+// parallel runs produce bit-identical output to sequential ones.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs f(i) for every i in [0, n), on up to `workers` goroutines
+// (NumCPU when workers <= 0). It returns when all calls complete. f must
+// not panic; work items must be independent.
+func ForEach(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs f over [0, n) in parallel and collects the results in index
+// order — the deterministic gather for Monte-Carlo sweeps.
+func Map[T any](n, workers int, f func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// MapErr is Map for fallible work; it returns the first error by index
+// (not by completion time), keeping failures deterministic too.
+func MapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { out[i], errs[i] = f(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package pcm
+
+import "fmt"
+
+// DataBank is the exact-data refinement of Bank: it stores every line's
+// actual bytes and derives write latency from the bit transitions the
+// write causes under a configurable write policy.
+//
+//   - FullWrite re-programs every cell (the paper's model, Section II-C):
+//     latency is SET whenever the new data contains any '1'.
+//   - Differential writes only the changed cells (the optimization of
+//     Yue & Zhu, HPCA'13 — the paper's [16]): latency is SET only when
+//     some cell must transition 0→1, RESET when only 1→0 transitions
+//     occur, and a read-only latency when nothing changes at all. Wear
+//     also accrues only when something changes.
+//
+// The class-based Bank is what the attacks and lifetime experiments use
+// (it matches the paper's accounting and is an order of magnitude
+// lighter); DataBank exists to check that the timing side channel
+// survives — and how it shifts — under the more detailed device model.
+type DataBank struct {
+	cfg    Config
+	policy WritePolicy
+	data   [][]byte
+	wear   []uint32
+
+	failed      bool
+	firstFailPA uint64
+	firstFailNs uint64
+	failedLines uint64
+
+	totalWrites uint64
+	totalReads  uint64
+	elapsedNs   uint64
+}
+
+// WritePolicy selects how a line write programs its cells.
+type WritePolicy int
+
+const (
+	// FullWrite re-programs every cell on every write.
+	FullWrite WritePolicy = iota
+	// Differential programs only cells whose value changes.
+	Differential
+)
+
+// String names the policy.
+func (p WritePolicy) String() string {
+	if p == Differential {
+		return "differential"
+	}
+	return "full-write"
+}
+
+// NewDataBank builds an exact-data bank; all lines start zeroed.
+func NewDataBank(cfg Config, policy WritePolicy) (*DataBank, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	b := &DataBank{
+		cfg:    cfg,
+		policy: policy,
+		data:   make([][]byte, cfg.Lines),
+		wear:   make([]uint32, cfg.Lines),
+	}
+	for i := range b.data {
+		b.data[i] = make([]byte, cfg.LineBytes)
+	}
+	return b, nil
+}
+
+// Lines returns the number of physical lines.
+func (b *DataBank) Lines() uint64 { return b.cfg.Lines }
+
+// Policy returns the write policy.
+func (b *DataBank) Policy() WritePolicy { return b.policy }
+
+func (b *DataBank) check(pa uint64) {
+	if pa >= b.cfg.Lines {
+		panic(fmt.Errorf("%w: %d >= %d", ErrBadAddress, pa, b.cfg.Lines))
+	}
+}
+
+// Read returns a copy of line pa's bytes and the read latency.
+func (b *DataBank) Read(pa uint64) ([]byte, uint64) {
+	b.check(pa)
+	b.totalReads++
+	b.elapsedNs += b.cfg.Timing.ReadNs
+	out := make([]byte, len(b.data[pa]))
+	copy(out, b.data[pa])
+	return out, b.cfg.Timing.ReadNs
+}
+
+// transitions reports whether writing `new` over `old` needs any SET
+// (0→1) and any RESET (1→0) cell programming.
+func transitions(old, new []byte) (set, reset bool) {
+	for i := range new {
+		var o byte
+		if i < len(old) {
+			o = old[i]
+		}
+		if ^o&new[i] != 0 {
+			set = true
+		}
+		if o&^new[i] != 0 {
+			reset = true
+		}
+		if set && reset {
+			return
+		}
+	}
+	return
+}
+
+// Write stores data into line pa and returns the latency under the
+// bank's policy. Data shorter than the line is zero-padded; longer data
+// is an error (panic, as with bad addresses — a programming bug).
+func (b *DataBank) Write(pa uint64, data []byte) uint64 {
+	b.check(pa)
+	if len(data) > b.cfg.LineBytes {
+		panic(fmt.Errorf("pcm: %d bytes exceed the %d-byte line", len(data), b.cfg.LineBytes))
+	}
+	b.totalWrites++
+
+	var ns uint64
+	var wears bool
+	switch b.policy {
+	case Differential:
+		set, reset := transitions(b.data[pa], data)
+		switch {
+		case set:
+			ns = b.cfg.Timing.SetNs
+			wears = true
+		case reset:
+			ns = b.cfg.Timing.ResetNs
+			wears = true
+		default:
+			// Nothing changes: the controller still verifies (a read).
+			ns = b.cfg.Timing.ReadNs
+		}
+	default: // FullWrite: every cell re-programmed, worst pulse dominates
+		if ClassOf(data) == Zeros {
+			ns = b.cfg.Timing.ResetNs
+		} else {
+			ns = b.cfg.Timing.SetNs
+		}
+		wears = true
+	}
+	b.elapsedNs += ns
+
+	if wears {
+		w := uint64(b.wear[pa]) + 1
+		b.wear[pa] = uint32(w)
+		if w > b.cfg.Endurance {
+			if w == b.cfg.Endurance+1 {
+				b.failedLines++
+				if !b.failed {
+					b.failed = true
+					b.firstFailPA = pa
+					b.firstFailNs = b.elapsedNs
+				}
+			}
+			return ns // stuck-at: contents unchanged
+		}
+	}
+	line := b.data[pa]
+	copy(line, data)
+	for i := len(data); i < len(line); i++ {
+		line[i] = 0
+	}
+	return ns
+}
+
+// Move copies line src to dst (read + write) and returns the latency.
+func (b *DataBank) Move(src, dst uint64) uint64 {
+	data, rd := b.Read(src)
+	return rd + b.Write(dst, data)
+}
+
+// Swap exchanges lines x and y (two reads + two writes).
+func (b *DataBank) Swap(x, y uint64) uint64 {
+	dx, r1 := b.Read(x)
+	dy, r2 := b.Read(y)
+	return r1 + r2 + b.Write(x, dy) + b.Write(y, dx)
+}
+
+// Wear returns line pa's write count.
+func (b *DataBank) Wear(pa uint64) uint64 {
+	b.check(pa)
+	return uint64(b.wear[pa])
+}
+
+// Failed reports whether any line exceeded its endurance.
+func (b *DataBank) Failed() bool { return b.failed }
+
+// FirstFailure returns the first failed line and the device time of its
+// failure.
+func (b *DataBank) FirstFailure() (pa uint64, atNs uint64, ok bool) {
+	return b.firstFailPA, b.firstFailNs, b.failed
+}
+
+// ElapsedNs returns accumulated device time.
+func (b *DataBank) ElapsedNs() uint64 { return b.elapsedNs }

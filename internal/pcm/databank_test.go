@@ -1,0 +1,177 @@
+package pcm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func dataBank(t *testing.T, policy WritePolicy) *DataBank {
+	t.Helper()
+	b, err := NewDataBank(Config{Lines: 8, LineBytes: 4, Endurance: 1000}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDataBankReadWrite(t *testing.T) {
+	b := dataBank(t, FullWrite)
+	b.Write(3, []byte{0xDE, 0xAD})
+	got, ns := b.Read(3)
+	if !bytes.Equal(got, []byte{0xDE, 0xAD, 0, 0}) {
+		t.Fatalf("read back %x", got)
+	}
+	if ns != 125 {
+		t.Fatalf("read latency %d", ns)
+	}
+	// Returned slice is a copy.
+	got[0] = 0xFF
+	again, _ := b.Read(3)
+	if again[0] != 0xDE {
+		t.Fatal("Read must return a copy")
+	}
+}
+
+func TestFullWriteLatencyMatchesClassModel(t *testing.T) {
+	b := dataBank(t, FullWrite)
+	if ns := b.Write(0, []byte{0, 0, 0, 0}); ns != 125 {
+		t.Fatalf("ALL-0 write %d ns", ns)
+	}
+	if ns := b.Write(0, []byte{0xFF, 0xFF, 0xFF, 0xFF}); ns != 1000 {
+		t.Fatalf("ALL-1 write %d ns", ns)
+	}
+	if ns := b.Write(0, []byte{0x01, 0, 0, 0}); ns != 1000 {
+		t.Fatalf("mixed write %d ns", ns)
+	}
+}
+
+func TestDifferentialWriteLatency(t *testing.T) {
+	b := dataBank(t, Differential)
+	// 0 → 0xF0: SET transitions.
+	if ns := b.Write(0, []byte{0xF0}); ns != 1000 {
+		t.Fatalf("0→F0 took %d ns, want SET", ns)
+	}
+	// F0 → 0x30: only 1→0 transitions: RESET latency.
+	if ns := b.Write(0, []byte{0x30}); ns != 125 {
+		t.Fatalf("F0→30 took %d ns, want RESET", ns)
+	}
+	// Same data again: nothing changes, verify-read only, no wear.
+	w := b.Wear(0)
+	if ns := b.Write(0, []byte{0x30}); ns != 125 {
+		t.Fatalf("no-op write took %d ns", ns)
+	}
+	if b.Wear(0) != w {
+		t.Fatal("no-op differential write must not wear the line")
+	}
+	// 0x30 → 0x31: one SET transition.
+	if ns := b.Write(0, []byte{0x31}); ns != 1000 {
+		t.Fatalf("30→31 took %d ns, want SET", ns)
+	}
+}
+
+// TestDifferentialStillLeaksTiming: the side channel the paper exploits
+// does not vanish under differential writes — remapping an ALL-1 line
+// onto an ALL-0 one still pays the SET pulse, an ALL-0 onto ALL-0 does
+// not.
+func TestDifferentialStillLeaksTiming(t *testing.T) {
+	b := dataBank(t, Differential)
+	b.Write(1, []byte{0xFF, 0xFF, 0xFF, 0xFF}) // the marked line
+	fast := b.Move(0, 2)                       // ALL-0 over ALL-0
+	slow := b.Move(1, 3)                       // ALL-1 over ALL-0
+	if slow <= fast {
+		t.Fatalf("timing leak gone: move ALL-1 %d ns vs ALL-0 %d ns", slow, fast)
+	}
+	if fast != 250 || slow != 1125 {
+		t.Fatalf("move latencies %d/%d, want 250/1125", fast, slow)
+	}
+}
+
+func TestDataBankEnduranceAndStuckAt(t *testing.T) {
+	b, err := NewDataBank(Config{Lines: 2, LineBytes: 1, Endurance: 3}, FullWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 3; i++ {
+		b.Write(0, []byte{i + 1})
+	}
+	if b.Failed() {
+		t.Fatal("early failure")
+	}
+	b.Write(0, []byte{0x55})
+	if !b.Failed() {
+		t.Fatal("must fail past endurance")
+	}
+	got, _ := b.Read(0)
+	if got[0] != 3 {
+		t.Fatalf("stuck-at content %x, want the last good value 3", got[0])
+	}
+	pa, at, ok := b.FirstFailure()
+	if !ok || pa != 0 || at != b.ElapsedNs()-125 {
+		t.Fatalf("failure record %d/%d/%v", pa, at, ok)
+	}
+}
+
+func TestDataBankSwap(t *testing.T) {
+	b := dataBank(t, FullWrite)
+	b.Write(0, []byte{0xAA})
+	b.Write(1, []byte{0xBB})
+	b.Swap(0, 1)
+	x, _ := b.Read(0)
+	y, _ := b.Read(1)
+	if x[0] != 0xBB || y[0] != 0xAA {
+		t.Fatalf("swap result %x/%x", x[0], y[0])
+	}
+}
+
+func TestDataBankOversizedWritePanics(t *testing.T) {
+	b := dataBank(t, FullWrite)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Write(0, make([]byte, 5))
+}
+
+func TestTransitions(t *testing.T) {
+	cases := []struct {
+		old, new   []byte
+		set, reset bool
+	}{
+		{[]byte{0x00}, []byte{0x00}, false, false},
+		{[]byte{0x00}, []byte{0x01}, true, false},
+		{[]byte{0x01}, []byte{0x00}, false, true},
+		{[]byte{0x0F}, []byte{0xF0}, true, true},
+		{[]byte{0xFF}, []byte{0xFF}, false, false},
+		{nil, []byte{0x80}, true, false},
+	}
+	for _, c := range cases {
+		set, reset := transitions(c.old, c.new)
+		if set != c.set || reset != c.reset {
+			t.Errorf("transitions(%x,%x) = %v/%v, want %v/%v",
+				c.old, c.new, set, reset, c.set, c.reset)
+		}
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	b := MustNewBank(Config{Lines: 4, Endurance: 100})
+	b.Write(0, Zeros)
+	b.Write(1, Ones)
+	b.Write(2, Mixed)
+	b.Read(0)
+	c := b.OpCounts()
+	if c.Reads != 1 || c.ResetWrites != 1 || c.SetWrites != 2 {
+		t.Fatalf("op counts %+v", c)
+	}
+	m := EnergyModel{ReadPJ: 1, ResetPJ: 10, SetPJ: 100}
+	want := (1 + 10 + 200) * 1e-6
+	if got := b.EnergyMicrojoules(m); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("energy %v µJ, want ≈%v", got, want)
+	}
+	// The default model makes a SET-heavy workload costlier than a
+	// RESET-only one of the same length.
+	if DefaultEnergy.Energy(OpCounts{SetWrites: 100}) <= DefaultEnergy.Energy(OpCounts{ResetWrites: 100}) {
+		t.Fatal("SET-heavy traffic should cost more energy")
+	}
+}

@@ -1,0 +1,57 @@
+package pcm
+
+// Energy accounting. PCM's appeal is zero leakage power, but its dynamic
+// write energy is dominated by the long, high-current SET pulse, so the
+// SET/RESET mix — the same asymmetry the Remapping Timing Attack exploits
+// for timing — also shows up on the power rail. The bank tallies
+// operations by pulse type so experiments can report energy alongside
+// time. (A power side channel analogous to RTA would work the same way;
+// the tally is the model of what it would see.)
+
+// EnergyModel holds per-operation energies in picojoules per line
+// operation. DefaultEnergy uses representative per-bit figures (reads
+// ~0.05 pJ/bit; RESET ~6 pJ/bit from its short high-current pulse; SET
+// ~14 pJ/bit — lower current but 8× the duration) scaled to a 256 B
+// line, with SET-containing line writes averaged over mixed data.
+type EnergyModel struct {
+	ReadPJ  float64 // per line read
+	ResetPJ float64 // per line write containing only RESET pulses
+	SetPJ   float64 // per line write containing SET pulses
+}
+
+// DefaultEnergy is the representative model for 256 B lines.
+var DefaultEnergy = EnergyModel{
+	ReadPJ:  0.05 * 256 * 8,
+	ResetPJ: 6 * 256 * 8,
+	SetPJ:   (6 + 14) / 2.0 * 256 * 8, // mixed data: about half the cells SET
+}
+
+// OpCounts is the bank's operation tally by pulse type.
+type OpCounts struct {
+	Reads       uint64
+	ResetWrites uint64 // ALL-0 line writes
+	SetWrites   uint64 // writes containing SET pulses
+}
+
+// Energy evaluates the model against a tally, in microjoules.
+func (m EnergyModel) Energy(c OpCounts) float64 {
+	pj := float64(c.Reads)*m.ReadPJ +
+		float64(c.ResetWrites)*m.ResetPJ +
+		float64(c.SetWrites)*m.SetPJ
+	return pj * 1e-6
+}
+
+// OpCounts returns the bank's operation tally.
+func (b *Bank) OpCounts() OpCounts {
+	return OpCounts{
+		Reads:       b.totalReads,
+		ResetWrites: b.resetWrites,
+		SetWrites:   b.totalWrites - b.resetWrites,
+	}
+}
+
+// EnergyMicrojoules evaluates an energy model over everything the bank
+// has done so far.
+func (b *Bank) EnergyMicrojoules(m EnergyModel) float64 {
+	return m.Energy(b.OpCounts())
+}

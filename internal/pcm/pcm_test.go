@@ -1,0 +1,229 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testBank(lines, endurance uint64) *Bank {
+	return MustNewBank(Config{Lines: lines, Endurance: endurance})
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		data []byte
+		want Content
+	}{
+		{[]byte{}, Zeros},
+		{[]byte{0, 0, 0}, Zeros},
+		{[]byte{0xff, 0xff}, Ones},
+		{[]byte{0xff, 0x00}, Mixed},
+		{[]byte{0x01}, Mixed},
+		{[]byte{0xfe}, Mixed},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.data); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.data, got, c.want)
+		}
+	}
+}
+
+func TestContentString(t *testing.T) {
+	if Zeros.String() != "ALL-0" || Ones.String() != "ALL-1" || Mixed.String() != "MIXED" {
+		t.Fatal("content names changed")
+	}
+}
+
+func TestTimingWriteNs(t *testing.T) {
+	tm := DefaultTiming
+	if tm.WriteNs(Zeros) != 125 {
+		t.Errorf("ALL-0 write = %d, want 125", tm.WriteNs(Zeros))
+	}
+	if tm.WriteNs(Ones) != 1000 || tm.WriteNs(Mixed) != 1000 {
+		t.Error("writes containing SET bits must take the SET latency")
+	}
+}
+
+// TestFig4RemapLatencies verifies that the device model reproduces the
+// remapping latencies of the paper's Fig 4 exactly.
+func TestFig4RemapLatencies(t *testing.T) {
+	b := testBank(4, 1000)
+	b.Write(0, Zeros)
+	b.Write(1, Ones)
+	b.Write(2, Ones)
+
+	if got := b.Move(0, 3); got != 250 {
+		t.Errorf("moving ALL-0 line = %d ns, want 250 (Fig 4a)", got)
+	}
+	if got := b.Move(1, 3); got != 1125 {
+		t.Errorf("moving ALL-1 line = %d ns, want 1125 (Fig 4a)", got)
+	}
+
+	b2 := testBank(4, 1000)
+	if got := b2.Swap(0, 1); got != 500 {
+		t.Errorf("swapping two ALL-0 lines = %d ns, want 500 (Fig 4b)", got)
+	}
+	b2.Write(0, Ones)
+	if got := b2.Swap(0, 1); got != 1375 {
+		t.Errorf("swapping ALL-1 with ALL-0 = %d ns, want 1375 (Fig 4b)", got)
+	}
+	b2.Write(0, Ones)
+	b2.Write(1, Ones)
+	if got := b2.Swap(0, 1); got != 2250 {
+		t.Errorf("swapping two ALL-1 lines = %d ns, want 2250 (Fig 4b)", got)
+	}
+}
+
+func TestWriteAsymmetryIsTheSideChannel(t *testing.T) {
+	b := testBank(2, 1000)
+	fast := b.Write(0, Zeros)
+	slow := b.Write(0, Ones)
+	if slow/fast != 8 {
+		t.Fatalf("SET/RESET ratio = %d/%d, paper says 8x", slow, fast)
+	}
+}
+
+func TestEnduranceFailure(t *testing.T) {
+	b := testBank(4, 10)
+	for i := 0; i < 10; i++ {
+		b.Write(2, Mixed)
+		if b.Failed() {
+			t.Fatalf("failed after %d writes, endurance is 10", i+1)
+		}
+	}
+	b.Write(2, Mixed)
+	if !b.Failed() {
+		t.Fatal("line must fail after endurance+1 writes")
+	}
+	pa, at, ok := b.FirstFailure()
+	if !ok || pa != 2 {
+		t.Fatalf("first failure at PA %d (ok=%v), want 2", pa, ok)
+	}
+	if at != b.ElapsedNs() {
+		t.Fatalf("failure time %d != elapsed %d", at, b.ElapsedNs())
+	}
+	if b.FailedLines() != 1 {
+		t.Fatalf("failed lines = %d", b.FailedLines())
+	}
+}
+
+func TestStuckAtFault(t *testing.T) {
+	b := testBank(2, 3)
+	b.Write(0, Ones)
+	b.Write(0, Ones)
+	b.Write(0, Ones)
+	b.Write(0, Zeros) // exceeds endurance: content sticks at Ones
+	if got := b.Peek(0); got != Ones {
+		t.Fatalf("stuck-at line changed content to %v", got)
+	}
+	// Time and wear still accrue on a dead line.
+	w := b.Wear(0)
+	b.Write(0, Zeros)
+	if b.Wear(0) != w+1 {
+		t.Fatal("wear must keep accruing on a failed line")
+	}
+}
+
+func TestReadDoesNotWear(t *testing.T) {
+	b := testBank(2, 5)
+	b.Write(1, Ones)
+	for i := 0; i < 100; i++ {
+		if c, ns := b.Read(1); c != Ones || ns != 125 {
+			t.Fatalf("read %v/%d", c, ns)
+		}
+	}
+	if b.Wear(1) != 1 {
+		t.Fatalf("reads changed wear to %d", b.Wear(1))
+	}
+	if b.TotalReads() != 100 {
+		t.Fatalf("total reads = %d", b.TotalReads())
+	}
+}
+
+func TestElapsedAccounting(t *testing.T) {
+	b := testBank(2, 100)
+	b.Write(0, Zeros) // 125
+	b.Write(1, Ones)  // 1000
+	b.Read(0)         // 125
+	b.AdvanceNs(50)
+	if b.ElapsedNs() != 1300 {
+		t.Fatalf("elapsed = %d, want 1300", b.ElapsedNs())
+	}
+	if b.TotalWrites() != 2 {
+		t.Fatalf("writes = %d", b.TotalWrites())
+	}
+}
+
+func TestMaxWear(t *testing.T) {
+	b := testBank(8, 1000)
+	for i := 0; i < 7; i++ {
+		b.Write(5, Mixed)
+	}
+	b.Write(3, Mixed)
+	pa, w := b.MaxWear()
+	if pa != 5 || w != 7 {
+		t.Fatalf("max wear at %d (%d), want 5 (7)", pa, w)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewBank(Config{Lines: 0, Endurance: 10}); err == nil {
+		t.Error("zero lines must fail")
+	}
+	if _, err := NewBank(Config{Lines: 4}); err == nil {
+		t.Error("zero endurance must fail")
+	}
+	b := MustNewBank(Config{Lines: 4, Endurance: 10})
+	if b.Config().LineBytes != 256 {
+		t.Error("line size should default to 256")
+	}
+	if b.Config().Timing != DefaultTiming {
+		t.Error("timing should default")
+	}
+}
+
+func TestPaperConfig(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.Lines != 1<<22 || cfg.LineBytes != 256 || cfg.Endurance != 1e8 {
+		t.Fatalf("paper config drifted: %+v", cfg)
+	}
+	b := MustNewBank(cfg)
+	if b.CapacityBytes() != 1<<30 {
+		t.Fatalf("capacity = %d, want 1 GB", b.CapacityBytes())
+	}
+	// Ideal lifetime: 10^8 × 2^22 × 1000 ns ≈ 4855 days.
+	days := float64(b.IdealLifetimeNs()) * 1e-9 / 86400
+	if days < 4800 || days > 4900 {
+		t.Fatalf("ideal lifetime = %.0f days, want ≈4855", days)
+	}
+}
+
+func TestBadAddressPanics(t *testing.T) {
+	b := testBank(4, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range write")
+		}
+	}()
+	b.Write(4, Zeros)
+}
+
+func TestWearNeverDecreases(t *testing.T) {
+	b := testBank(16, 1000)
+	f := func(pa uint64, c uint8) bool {
+		pa %= 16
+		before := b.Wear(pa)
+		b.Write(pa, Content(c%3))
+		return b.Wear(pa) == before+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBankWrite(b *testing.B) {
+	bank := testBank(1<<16, ^uint64(0)>>1)
+	for i := 0; i < b.N; i++ {
+		bank.Write(uint64(i)&(1<<16-1), Mixed)
+	}
+}

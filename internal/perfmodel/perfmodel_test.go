@@ -1,0 +1,168 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"securityrbsg/internal/core"
+	"securityrbsg/internal/wear"
+	"securityrbsg/internal/workload"
+)
+
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.RequestsPerCore = 4000
+	return cfg
+}
+
+func srbsgFactory(psiInner uint64) SchemeFactory {
+	return func(lines uint64) (wear.Scheme, error) {
+		return core.New(core.Config{
+			Lines: lines, Regions: 64, InnerInterval: psiInner,
+			OuterInterval: 128, Stages: 7, Seed: 7,
+		})
+	}
+}
+
+func TestDefaultConfigMirrorsPaperPlatform(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Cores != 8 || cfg.QueueDepth != 32 || cfg.TranslationNs != 10 {
+		t.Fatalf("platform drifted: %+v", cfg)
+	}
+	// 8 MB L3 of 256 B lines.
+	if cfg.L3Lines != 32768 {
+		t.Fatalf("L3 lines %d", cfg.L3Lines)
+	}
+}
+
+func TestDegradationSmallAndPositive(t *testing.T) {
+	prof, _ := workload.ByName("canneal")
+	r, err := RunBenchmark(fastCfg(), prof, srbsgFactory(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaselineIPC <= 0 || r.SchemeIPC <= 0 {
+		t.Fatalf("IPC out of range: %+v", r)
+	}
+	if r.DegradationPct < 0.05 || r.DegradationPct > 10 {
+		t.Fatalf("canneal degradation %.3f%% — expected small but visible", r.DegradationPct)
+	}
+}
+
+func TestSparseAppsUnaffected(t *testing.T) {
+	// The paper: "Some applications, such as bzip2 and gcc, show no IPC
+	// degradation at all."
+	for _, name := range []string{"bzip2", "gcc"} {
+		prof, _ := workload.ByName(name)
+		r, err := RunBenchmark(fastCfg(), prof, srbsgFactory(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DegradationPct > 0.3 {
+			t.Errorf("%s degraded %.3f%%, paper says ≈0", name, r.DegradationPct)
+		}
+	}
+}
+
+func TestDegradationFallsWithInterval(t *testing.T) {
+	// PARSEC average falls as the inner interval grows (paper:
+	// 1.73% / 1.02% / 0.68% for ψ = 32/64/128).
+	cfg := fastCfg()
+	subset := workload.PARSEC[:6]
+	_, d32, err := RunSuite(cfg, subset, srbsgFactory(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d128, err := RunSuite(cfg, subset, srbsgFactory(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d128 >= d32 {
+		t.Fatalf("degradation should fall with interval: ψ32=%.3f%% ψ128=%.3f%%", d32, d128)
+	}
+}
+
+func TestSuiteAveragesMatchPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run")
+	}
+	cfg := fastCfg()
+	_, parsecAvg, err := RunSuite(cfg, workload.PARSEC, srbsgFactory(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsecAvg < 0.2 || parsecAvg > 3 {
+		t.Fatalf("PARSEC average %.2f%%, paper says ≈1%% at ψ=64", parsecAvg)
+	}
+	_, specAvg, err := RunSuite(cfg, workload.SPEC, srbsgFactory(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specAvg >= parsecAvg {
+		t.Fatalf("SPEC average %.2f%% should sit below PARSEC %.2f%%", specAvg, parsecAvg)
+	}
+}
+
+func TestWriteQueueBackpressure(t *testing.T) {
+	m := &machine{queueDepth: 2}
+	if stall := m.admitWrite(0, 100); stall != 0 {
+		t.Fatal("first write should not stall")
+	}
+	if stall := m.admitWrite(1, 200); stall != 0 {
+		t.Fatal("second write fits")
+	}
+	// Queue full at now=2 (completions at 100 and 200): stall to 100.
+	if stall := m.admitWrite(2, 300); stall != 100 {
+		t.Fatalf("stall = %d, want 100", stall)
+	}
+	// After time passes completions drain.
+	if stall := m.admitWrite(250, 400); stall != 0 {
+		t.Fatalf("drained queue should not stall, got %d", stall)
+	}
+}
+
+func TestHashHitDeterministicAndCalibrated(t *testing.T) {
+	if hashHit(1, 2, 0.9) != hashHit(1, 2, 0.9) {
+		t.Fatal("hit draw not deterministic")
+	}
+	hits := 0
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		if hashHit(i, i*3, 0.8) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; p < 0.78 || p > 0.82 {
+		t.Fatalf("hit rate %.3f, want ≈0.80", p)
+	}
+}
+
+func TestL3HitProb(t *testing.T) {
+	small := workload.Profile{Footprint: 1 << 10}
+	big := workload.Profile{Footprint: 1 << 22}
+	if l3HitProb(small, 32768) <= l3HitProb(big, 32768) {
+		t.Fatal("resident working sets must hit more")
+	}
+	if p := l3HitProb(big, 32768); p < 0.84 || p > 0.87 {
+		t.Fatalf("streaming hit prob %.3f", p)
+	}
+}
+
+func TestBankingImprovesThroughput(t *testing.T) {
+	// A memory-bound profile served by 8 banks should finish with higher
+	// IPC than on one bank (reads to different banks overlap).
+	prof, _ := workload.ByName("canneal")
+	run := func(banks int) float64 {
+		cfg := fastCfg()
+		cfg.Banks = banks
+		r, err := RunBenchmark(cfg, prof, srbsgFactory(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.BaselineIPC
+	}
+	one, eight := run(1), run(8)
+	if eight <= one {
+		t.Fatalf("8 banks (IPC %.4f) should beat 1 bank (IPC %.4f)", eight, one)
+	}
+	t.Logf("baseline IPC: 1 bank %.4f, 8 banks %.4f", one, eight)
+}

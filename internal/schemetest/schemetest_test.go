@@ -1,0 +1,112 @@
+package schemetest
+
+import (
+	"strings"
+	"testing"
+
+	"securityrbsg/internal/wear"
+)
+
+// fakeScheme is a controllable scheme for testing the harness itself.
+type fakeScheme struct {
+	translate []uint64
+	phys      uint64
+	onWrite   func(m wear.Mover)
+}
+
+func (f *fakeScheme) Name() string               { return "fake" }
+func (f *fakeScheme) LogicalLines() uint64       { return uint64(len(f.translate)) }
+func (f *fakeScheme) PhysicalLines() uint64      { return f.phys }
+func (f *fakeScheme) Translate(la uint64) uint64 { return f.translate[la] }
+func (f *fakeScheme) NoteWrite(la uint64, m wear.Mover) uint64 {
+	if f.onWrite != nil {
+		f.onWrite(m)
+	}
+	return 0
+}
+
+func TestTokenMoverSeedsFromTranslation(t *testing.T) {
+	f := &fakeScheme{translate: []uint64{2, 0, 3}, phys: 4}
+	m := NewTokenMover(f)
+	if m.Tokens[2] != 0 || m.Tokens[0] != 1 || m.Tokens[3] != 2 {
+		t.Fatalf("tokens misplaced: %v", m.Tokens)
+	}
+	if m.Tokens[1] != Empty {
+		t.Fatal("unmapped line should be empty")
+	}
+	if err := Verify(f, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenMoverPanicsOnCollision(t *testing.T) {
+	f := &fakeScheme{translate: []uint64{1, 1}, phys: 2}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("colliding initial translation must panic")
+		}
+	}()
+	NewTokenMover(f)
+}
+
+func TestVerifyCatchesDivergence(t *testing.T) {
+	f := &fakeScheme{translate: []uint64{0, 1}, phys: 3}
+	m := NewTokenMover(f)
+	// The scheme claims LA 0 moved but no data moved.
+	f.translate[0] = 2
+	err := Verify(f, m)
+	if err == nil {
+		t.Fatal("divergence not caught")
+	}
+	if !strings.Contains(err.Error(), "LA 0") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestVerifyCatchesOutOfRange(t *testing.T) {
+	f := &fakeScheme{translate: []uint64{0}, phys: 1}
+	m := NewTokenMover(f)
+	f.translate[0] = 5
+	if err := Verify(f, m); err == nil || !strings.Contains(err.Error(), "beyond") {
+		t.Fatalf("out-of-range translation not caught: %v", err)
+	}
+}
+
+func TestMoveAndSwapSemantics(t *testing.T) {
+	f := &fakeScheme{translate: []uint64{0, 1}, phys: 3}
+	m := NewTokenMover(f)
+	m.Move(0, 2)
+	if m.Tokens[2] != 0 || m.Tokens[0] != Empty {
+		t.Fatalf("move semantics: %v", m.Tokens)
+	}
+	m.Swap(1, 2)
+	if m.Tokens[1] != 0 || m.Tokens[2] != 1 {
+		t.Fatalf("swap semantics: %v", m.Tokens)
+	}
+	if m.Moves != 1 || m.Swaps != 1 {
+		t.Fatalf("op counts: %d/%d", m.Moves, m.Swaps)
+	}
+}
+
+func TestExerciseReportsFirstFailure(t *testing.T) {
+	// A scheme that corrupts itself on the 5th write.
+	writes := 0
+	f := &fakeScheme{translate: []uint64{0, 1, 2}, phys: 3}
+	f.onWrite = func(m wear.Mover) {
+		writes++
+		if writes == 5 {
+			f.translate[0], f.translate[1] = f.translate[1], f.translate[0] // mapping flips, data doesn't
+		}
+	}
+	_, err := Exercise(f, 20, 1, 1)
+	if err == nil || !strings.Contains(err.Error(), "after 5 writes") {
+		t.Fatalf("corruption not localized: %v", err)
+	}
+}
+
+func TestExerciseHammerCleanScheme(t *testing.T) {
+	f := &fakeScheme{translate: []uint64{0, 1, 2}, phys: 3}
+	if _, err := ExerciseHammer(f, 1, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+}

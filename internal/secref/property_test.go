@@ -1,0 +1,71 @@
+package secref
+
+import (
+	"testing"
+	"testing/quick"
+
+	"securityrbsg/internal/schemetest"
+	"securityrbsg/internal/stats"
+)
+
+// TestPairIsInvolution: for any key pair, Pair(Pair(la)) == la — the
+// algebra that makes in-place pair swapping possible.
+func TestPairIsInvolution(t *testing.T) {
+	f := func(seed uint64, la uint64) bool {
+		s := MustNewOneLevel(1024, 1, 0, stats.NewRNG(seed))
+		m := schemetest.NewTokenMover(s)
+		for i := uint64(0); i < seed%2048; i++ {
+			s.Step(m)
+		}
+		la &= 1023
+		return s.Pair(s.Pair(la)) == la
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTranslateAlwaysBijective: at any point in any round, the mapping is
+// a permutation of the physical space.
+func TestTranslateAlwaysBijective(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		s := MustNewOneLevel(256, 1, 0, stats.NewRNG(seed))
+		m := schemetest.NewTokenMover(s)
+		for i := 0; i < int(steps)%600; i++ {
+			s.Step(m)
+		}
+		seen := make([]bool, 256)
+		for la := uint64(0); la < 256; la++ {
+			pa := s.Translate(la)
+			if pa >= 256 || seen[pa] {
+				return false
+			}
+			seen[pa] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemappedMonotoneWithinRound: once an address has been refreshed in
+// a round, its translation stays at keyc until the round ends.
+func TestRemappedMonotoneWithinRound(t *testing.T) {
+	s := MustNewOneLevel(128, 1, 0, stats.NewRNG(5))
+	m := schemetest.NewTokenMover(s)
+	// Enter a fresh round.
+	s.Step(m)
+	locked := map[uint64]uint64{}
+	for s.CRP() < 128 {
+		for la, pa := range locked {
+			if got := s.Translate(la); got != pa {
+				t.Fatalf("LA %d moved again within the round: %d → %d", la, pa, got)
+			}
+		}
+		la := s.CRP() // about to be refreshed
+		s.Step(m)
+		locked[la] = s.Translate(la)
+		locked[s.Pair(la)] = s.Translate(s.Pair(la))
+	}
+}

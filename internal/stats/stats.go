@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	m := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[m]
+	} else {
+		s.Median = (sorted[m-1] + sorted[m]) / 2
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g med=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// MaxUint32 returns the maximum element of xs (0 for empty input).
+func MaxUint32(xs []uint32) uint32 {
+	var m uint32
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// NormalizedCumulative returns the normalized accumulated distribution of
+// writes across the address space — the quantity plotted in Fig 16 of the
+// paper. counts[i] is the number of writes absorbed by physical line i; the
+// result y has len(points) entries where y[k] is the fraction of all writes
+// absorbed by addresses <= points[k] (points are indices into counts).
+// A perfectly uniform distribution yields y[k] ≈ points[k]/len(counts).
+func NormalizedCumulative(counts []uint32, points []int) []float64 {
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	y := make([]float64, len(points))
+	if total == 0 {
+		return y
+	}
+	sort.Ints(points)
+	var acc float64
+	prev := 0
+	for k, p := range points {
+		if p > len(counts) {
+			p = len(counts)
+		}
+		for i := prev; i < p; i++ {
+			acc += float64(counts[i])
+		}
+		prev = p
+		y[k] = acc / total
+	}
+	return y
+}
+
+// UniformityError returns the maximum absolute deviation of the normalized
+// cumulative write distribution from the ideal diagonal — 0 means perfectly
+// even wear, 1 means all writes on one end. This is the scalar form of
+// "the curve is approximate to linear" in the paper's Fig 16 discussion.
+func UniformityError(counts []uint32) float64 {
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	if total == 0 || len(counts) == 0 {
+		return 0
+	}
+	var acc, worst float64
+	n := float64(len(counts))
+	for i, c := range counts {
+		acc += float64(c)
+		d := math.Abs(acc/total - float64(i+1)/n)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+	Under   uint64 // samples below Lo
+	Over    uint64 // samples at or above Hi
+	Count   uint64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Count++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) { // float edge case at upper bound
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) from the bucket
+// midpoints. Out-of-range mass is clamped to the bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return h.Lo
+	}
+	target := q * float64(h.Count)
+	acc := float64(h.Under)
+	if acc >= target {
+		return h.Lo
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, b := range h.Buckets {
+		acc += float64(b)
+		if acc >= target {
+			return h.Lo + (float64(i)+0.5)*w
+		}
+	}
+	return h.Hi
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"securityrbsg/internal/pcm"
+)
+
+type Content = pcm.Content
+
+var (
+	contentZeros = pcm.Zeros
+	contentOnes  = pcm.Ones
+	contentMixed = pcm.Mixed
+)
+
+// FuzzReader feeds arbitrary bytes to the parser: it must never panic,
+// and every record it does accept must be well-formed and in range.
+func FuzzReader(f *testing.F) {
+	f.Add("# pcmtrace v1 lines=16\nW 3 M\nR 3\n")
+	f.Add("# pcmtrace v1 lines=1\nW 0 0\n")
+	f.Add("# pcmtrace v1 lines=8\n# comment\n\nR 7\n")
+	f.Add("garbage")
+	f.Add("# pcmtrace v1 lines=0\nR 0\n")
+	f.Add("# pcmtrace v1 lines=18446744073709551615\nW 5 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := NewReader(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			op, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // rejected input is fine; panics are not
+			}
+			if op.Line >= r.Lines() {
+				t.Fatalf("accepted out-of-range record %+v (space %d)", op, r.Lines())
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip: any sequence of valid ops must survive write→read
+// unchanged.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(5), uint64(16), true, uint8(0))
+	f.Add(uint64(0), uint64(1), false, uint8(2))
+	f.Fuzz(func(t *testing.T, line, lines uint64, write bool, content uint8) {
+		if lines == 0 || lines > 1<<20 {
+			return
+		}
+		line %= lines
+		op := Op{Write: write, Line: line}
+		if write {
+			op.Content = []Content{contentZeros, contentOnes, contentMixed}[content%3]
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add(op); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != op {
+			t.Fatalf("round trip changed %+v to %+v", op, got)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package trace defines a plain-text memory-access trace format and the
+// record/replay machinery around it, so experiments can be driven by
+// files instead of built-in generators — captured from one run, replayed
+// against any wear-leveling scheme.
+//
+// Format: a header line `# pcmtrace v1 lines=<N>` followed by one record
+// per line:
+//
+//	W <la> <0|1|M>    write ALL-0 / ALL-1 / mixed data to logical line la
+//	R <la>            read logical line la
+//
+// Blank lines and further `#` comments are ignored. Addresses are
+// decimal. The format favors greppability over density; traces compress
+// extremely well if stored.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/wear"
+)
+
+// Op is one trace record.
+type Op struct {
+	// Write distinguishes writes from reads.
+	Write bool
+	// Line is the logical line touched.
+	Line uint64
+	// Content is the written data class (writes only).
+	Content pcm.Content
+}
+
+// Writer emits a trace to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	lines uint64
+	count uint64
+	err   error
+}
+
+// NewWriter starts a trace for a memory of `lines` logical lines and
+// writes the header.
+func NewWriter(w io.Writer, lines uint64) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriter(w), lines: lines}
+	if _, err := fmt.Fprintf(tw.w, "# pcmtrace v1 lines=%d\n", lines); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Lines returns the header's memory size.
+func (t *Writer) Lines() uint64 { return t.lines }
+
+// Count returns the number of records emitted.
+func (t *Writer) Count() uint64 { return t.count }
+
+func contentCode(c pcm.Content) byte {
+	switch c {
+	case pcm.Zeros:
+		return '0'
+	case pcm.Ones:
+		return '1'
+	default:
+		return 'M'
+	}
+}
+
+// Add appends one record.
+func (t *Writer) Add(op Op) error {
+	if t.err != nil {
+		return t.err
+	}
+	if op.Line >= t.lines {
+		t.err = fmt.Errorf("trace: line %d out of declared space %d", op.Line, t.lines)
+		return t.err
+	}
+	if op.Write {
+		_, t.err = fmt.Fprintf(t.w, "W %d %c\n", op.Line, contentCode(op.Content))
+	} else {
+		_, t.err = fmt.Fprintf(t.w, "R %d\n", op.Line)
+	}
+	if t.err == nil {
+		t.count++
+	}
+	return t.err
+}
+
+// Flush drains the buffer; call once when done.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader parses a trace from an io.Reader.
+type Reader struct {
+	s     *bufio.Scanner
+	lines uint64
+	n     int
+}
+
+// NewReader parses the header and positions at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64*1024), 64*1024)
+	if !s.Scan() {
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	header := s.Text()
+	var lines uint64
+	if _, err := fmt.Sscanf(header, "# pcmtrace v1 lines=%d", &lines); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q: %w", header, err)
+	}
+	return &Reader{s: s, lines: lines, n: 1}, nil
+}
+
+// Lines returns the header's memory size.
+func (t *Reader) Lines() uint64 { return t.lines }
+
+// Next returns the next record; io.EOF when the trace is exhausted.
+func (t *Reader) Next() (Op, error) {
+	for t.s.Scan() {
+		t.n++
+		line := strings.TrimSpace(t.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseOp(line)
+		if err != nil {
+			return Op{}, fmt.Errorf("trace: line %d: %w", t.n, err)
+		}
+		if op.Line >= t.lines {
+			return Op{}, fmt.Errorf("trace: line %d: address %d out of declared space %d", t.n, op.Line, t.lines)
+		}
+		return op, nil
+	}
+	if err := t.s.Err(); err != nil {
+		return Op{}, err
+	}
+	return Op{}, io.EOF
+}
+
+func parseOp(line string) (Op, error) {
+	fields := strings.Fields(line)
+	switch {
+	case len(fields) == 2 && fields[0] == "R":
+		la, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return Op{}, fmt.Errorf("bad address %q", fields[1])
+		}
+		return Op{Line: la}, nil
+	case len(fields) == 3 && fields[0] == "W":
+		la, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return Op{}, fmt.Errorf("bad address %q", fields[1])
+		}
+		var c pcm.Content
+		switch fields[2] {
+		case "0":
+			c = pcm.Zeros
+		case "1":
+			c = pcm.Ones
+		case "M":
+			c = pcm.Mixed
+		default:
+			return Op{}, fmt.Errorf("bad content %q", fields[2])
+		}
+		return Op{Write: true, Line: la, Content: c}, nil
+	default:
+		return Op{}, fmt.Errorf("malformed record %q", line)
+	}
+}
+
+// ReplayStats summarizes a replay.
+type ReplayStats struct {
+	Reads, Writes uint64
+	ElapsedNs     uint64
+	Failed        bool
+	FailedPA      uint64
+}
+
+// Replay drives every record of r through the controller and returns the
+// aggregate statistics. Replay stops early (without error) if the device
+// fails. The trace's declared space must fit the controller's logical
+// space.
+func Replay(c *wear.Controller, r *Reader) (ReplayStats, error) {
+	var st ReplayStats
+	if r.Lines() > c.Scheme().LogicalLines() {
+		return st, fmt.Errorf("trace: trace space %d exceeds scheme space %d",
+			r.Lines(), c.Scheme().LogicalLines())
+	}
+	for {
+		op, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+		if op.Write {
+			st.ElapsedNs += c.Write(op.Line, op.Content)
+			st.Writes++
+		} else {
+			_, ns := c.Read(op.Line)
+			st.ElapsedNs += ns
+			st.Reads++
+		}
+		if pa, _, failed := c.Bank().FirstFailure(); failed {
+			st.Failed = true
+			st.FailedPA = pa
+			break
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,45 @@
+package wear
+
+import "securityrbsg/internal/pcm"
+
+// Stats is a point-in-time snapshot of everything a controller and its
+// bank have done — the single struct experiment harnesses report.
+type Stats struct {
+	// Demand traffic seen at the logical interface.
+	DemandWrites, DemandReads uint64
+	// Remapping movements triggered and their total latency.
+	RemapEvents, RemapNs uint64
+	// Device-level operation counts (demand + remapping).
+	DeviceWrites, DeviceReads uint64
+	// WriteOverhead is remap device writes per demand write.
+	WriteOverhead float64
+	// ElapsedNs is accumulated device time.
+	ElapsedNs uint64
+	// MaxWear and MaxWearPA locate the most-worn line.
+	MaxWear   uint64
+	MaxWearPA uint64
+	// FailedLines counts lines past endurance.
+	FailedLines uint64
+	// EnergyMicrojoules evaluates pcm.DefaultEnergy over the bank's
+	// operation tally.
+	EnergyMicrojoules float64
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	pa, w := c.bank.MaxWear()
+	return Stats{
+		DemandWrites:      c.demandWrites,
+		DemandReads:       c.demandReads,
+		RemapEvents:       c.remapEvents,
+		RemapNs:           c.remapNs,
+		DeviceWrites:      c.bank.TotalWrites(),
+		DeviceReads:       c.bank.TotalReads(),
+		WriteOverhead:     c.WriteOverhead(),
+		ElapsedNs:         c.bank.ElapsedNs(),
+		MaxWear:           w,
+		MaxWearPA:         pa,
+		FailedLines:       c.bank.FailedLines(),
+		EnergyMicrojoules: c.bank.EnergyMicrojoules(pcm.DefaultEnergy),
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"securityrbsg/internal/stats"
+)
+
+// Pattern is a minimal line-address stream: anything that can feed demand
+// writes into a wear-leveling experiment. Generator, Zipf and the types
+// below all satisfy it via small adapters where needed.
+type Pattern interface {
+	// NextLine returns the next logical line touched.
+	NextLine() uint64
+}
+
+// NextLine lets Zipf satisfy Pattern.
+func (z *Zipf) NextLine() uint64 { return z.Next() }
+
+// NextLine lets Generator satisfy Pattern (dropping the metadata).
+func (g *Generator) NextLine() uint64 { return g.Next().Line }
+
+// Strided walks the address space with a fixed stride — the classic
+// matrix-column access pattern. With a stride sharing a large factor with
+// the memory size it revisits a small subset of lines heavily, which is
+// exactly the traffic shape that defeats naive leveling.
+type Strided struct {
+	lines  uint64
+	stride uint64
+	pos    uint64
+}
+
+// NewStrided builds a strided walker over [0, lines) with the given
+// stride (≥ 1).
+func NewStrided(lines, stride uint64) (*Strided, error) {
+	if lines == 0 {
+		return nil, fmt.Errorf("workload: empty address space")
+	}
+	if stride == 0 {
+		return nil, fmt.Errorf("workload: stride must be at least 1")
+	}
+	return &Strided{lines: lines, stride: stride % lines}, nil
+}
+
+// NextLine returns the next strided address.
+func (s *Strided) NextLine() uint64 {
+	v := s.pos
+	s.pos += s.stride
+	if s.pos >= s.lines {
+		s.pos -= s.lines
+	}
+	return v
+}
+
+// Phased models applications that move between working sets: it dwells
+// in one region of the address space for a random period, then jumps to
+// another — the behavior that makes static randomization insufficient
+// and periodic remapping necessary.
+type Phased struct {
+	lines     uint64
+	span      uint64
+	meanDwell float64
+	rng       *stats.RNG
+	base      uint64
+	left      uint64
+}
+
+// NewPhased builds a phase-switching pattern: each phase touches a
+// `span`-line window uniformly for a geometrically distributed number of
+// accesses with the given mean.
+func NewPhased(lines, span uint64, meanDwell float64, seed uint64) (*Phased, error) {
+	if lines == 0 || span == 0 || span > lines {
+		return nil, fmt.Errorf("workload: bad phased geometry %d/%d", span, lines)
+	}
+	if meanDwell < 1 {
+		return nil, fmt.Errorf("workload: mean dwell must be at least 1")
+	}
+	return &Phased{
+		lines: lines, span: span, meanDwell: meanDwell,
+		rng: stats.NewRNG(seed),
+	}, nil
+}
+
+// NextLine returns the next access, switching phases when the dwell runs
+// out.
+func (p *Phased) NextLine() uint64 {
+	if p.left == 0 {
+		p.base = p.rng.Uint64n(p.lines)
+		// Geometric dwell via inverse CDF on a uniform draw.
+		u := p.rng.Float64()
+		d := uint64(1)
+		for u > 1/p.meanDwell && d < uint64(p.meanDwell*8) {
+			u *= 1 - 1/p.meanDwell
+			d++
+		}
+		p.left = d
+	}
+	p.left--
+	return (p.base + p.rng.Uint64n(p.span)) % p.lines
+}
+
+// Mix interleaves several patterns with weights — a multi-programmed
+// workload as the shared memory controller sees it.
+type Mix struct {
+	rng      *stats.RNG
+	patterns []Pattern
+	cum      []float64
+}
+
+// NewMix builds a weighted interleaving of patterns. Weights must be
+// positive and match the pattern count.
+func NewMix(seed uint64, patterns []Pattern, weights []float64) (*Mix, error) {
+	if len(patterns) == 0 || len(patterns) != len(weights) {
+		return nil, fmt.Errorf("workload: %d patterns vs %d weights", len(patterns), len(weights))
+	}
+	m := &Mix{rng: stats.NewRNG(seed), patterns: patterns, cum: make([]float64, len(weights))}
+	var total float64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("workload: weight %d must be positive", i)
+		}
+		total += w
+		m.cum[i] = total
+	}
+	for i := range m.cum {
+		m.cum[i] /= total
+	}
+	return m, nil
+}
+
+// NextLine draws a pattern by weight and forwards.
+func (m *Mix) NextLine() uint64 {
+	u := m.rng.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.patterns[i].NextLine()
+		}
+	}
+	return m.patterns[len(m.patterns)-1].NextLine()
+}

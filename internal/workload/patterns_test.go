@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestStrided(t *testing.T) {
+	s, err := NewStrided(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 3, 6, 1, 4, 7, 2, 5, 0}
+	for i, w := range want {
+		if got := s.NextLine(); got != w {
+			t.Fatalf("step %d: got %d want %d", i, got, w)
+		}
+	}
+	if _, err := NewStrided(0, 1); err == nil {
+		t.Error("empty space must fail")
+	}
+	if _, err := NewStrided(8, 0); err == nil {
+		t.Error("zero stride must fail")
+	}
+}
+
+func TestStridedStaysInRange(t *testing.T) {
+	s, _ := NewStrided(100, 37)
+	for i := 0; i < 10000; i++ {
+		if v := s.NextLine(); v >= 100 {
+			t.Fatalf("escaped: %d", v)
+		}
+	}
+}
+
+func TestPhased(t *testing.T) {
+	p, err := NewPhased(1<<16, 256, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phases: long runs should stay inside a small window, with jumps
+	// between runs. Count distinct 256-line buckets over a short burst vs
+	// a long run.
+	short := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		short[p.NextLine()>>8] = true
+	}
+	long := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		long[p.NextLine()>>8] = true
+	}
+	if len(short) > 5 {
+		t.Fatalf("a short burst touched %d windows — no phase locality", len(short))
+	}
+	if len(long) < 20 {
+		t.Fatalf("a long run touched only %d windows — phases never switch", len(long))
+	}
+	if _, err := NewPhased(16, 32, 10, 1); err == nil {
+		t.Error("span larger than space must fail")
+	}
+	if _, err := NewPhased(16, 4, 0.5, 1); err == nil {
+		t.Error("sub-1 dwell must fail")
+	}
+}
+
+func TestMix(t *testing.T) {
+	a, _ := NewStrided(100, 1)  // lines 0..99
+	z := NewZipf(1<<12, 1.3, 2) // scattered
+	m, err := NewMix(3, []Pattern{a, z}, []float64{9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.NextLine() < 100 {
+			low++
+		}
+	}
+	// ~90% from the strided source (plus a little zipf mass below 100).
+	if frac := float64(low) / n; frac < 0.85 || frac > 0.98 {
+		t.Fatalf("mix weight drifted: %.3f of accesses from the 9x source", frac)
+	}
+	if _, err := NewMix(1, nil, nil); err == nil {
+		t.Error("empty mix must fail")
+	}
+	if _, err := NewMix(1, []Pattern{a}, []float64{-1}); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := NewMix(1, []Pattern{a}, []float64{1, 2}); err == nil {
+		t.Error("mismatched weights must fail")
+	}
+}
+
+func TestPatternAdapters(t *testing.T) {
+	z := NewZipf(1<<10, 1.2, 4)
+	if z.NextLine() >= 1<<10 {
+		t.Fatal("zipf adapter range")
+	}
+	prof, _ := ByName("gcc")
+	g := NewGenerator(prof, 1<<10, 5)
+	if g.NextLine() >= 1<<10 {
+		t.Fatal("generator adapter range")
+	}
+}

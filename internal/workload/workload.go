@@ -1,0 +1,194 @@
+// Package workload generates the synthetic memory-access streams used by
+// the performance-impact experiment (Section V-C-4) and by the general
+// wear-leveling examples.
+//
+// The paper runs 13 PARSEC and 27 SPEC CPU2006 benchmarks under Gem5; we
+// have neither the suites nor Gem5, so each benchmark is replaced by a
+// profile of the only properties that reach the memory controller in that
+// experiment: how often a core misses to memory (MPKI), the write share,
+// and how bursty the misses are. Profile numbers are synthetic but ranked
+// to match the suites' published memory-intensity folklore (e.g. mcf and
+// lbm memory-bound, povray and gamess cache-resident); the experiment's
+// measured quantity — IPC degradation caused by the wear-leveling layer —
+// depends only on these aggregates.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"securityrbsg/internal/stats"
+)
+
+// Access is one memory request as seen below the cache hierarchy.
+type Access struct {
+	// Line is the logical memory line touched.
+	Line uint64
+	// Write distinguishes writebacks from fills.
+	Write bool
+	// Gap is the number of core cycles since the previous access of the
+	// same core (burstiness).
+	Gap uint64
+}
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	// Name labels the benchmark (PARSEC/SPEC names).
+	Name string
+	// Suite is "parsec" or "spec".
+	Suite string
+	// MPKI is misses (to memory) per kilo-instruction.
+	MPKI float64
+	// WriteRatio is the fraction of memory requests that are writes.
+	WriteRatio float64
+	// Footprint is the working-set size in lines.
+	Footprint uint64
+	// Locality in (0,1]: probability that an access stays within the
+	// current hot region rather than jumping (spatial locality knob).
+	Locality float64
+}
+
+// PARSEC lists the 13 PARSEC benchmarks with synthetic memory profiles.
+var PARSEC = []Profile{
+	{Name: "blackscholes", Suite: "parsec", MPKI: 0.6, WriteRatio: 0.25, Footprint: 1 << 14, Locality: 0.90},
+	{Name: "bodytrack", Suite: "parsec", MPKI: 1.1, WriteRatio: 0.30, Footprint: 1 << 15, Locality: 0.85},
+	{Name: "canneal", Suite: "parsec", MPKI: 9.5, WriteRatio: 0.35, Footprint: 1 << 19, Locality: 0.40},
+	{Name: "dedup", Suite: "parsec", MPKI: 3.8, WriteRatio: 0.45, Footprint: 1 << 17, Locality: 0.65},
+	{Name: "facesim", Suite: "parsec", MPKI: 4.2, WriteRatio: 0.40, Footprint: 1 << 17, Locality: 0.70},
+	{Name: "ferret", Suite: "parsec", MPKI: 2.9, WriteRatio: 0.35, Footprint: 1 << 16, Locality: 0.70},
+	{Name: "fluidanimate", Suite: "parsec", MPKI: 2.4, WriteRatio: 0.45, Footprint: 1 << 16, Locality: 0.75},
+	{Name: "freqmine", Suite: "parsec", MPKI: 1.6, WriteRatio: 0.30, Footprint: 1 << 16, Locality: 0.80},
+	{Name: "raytrace", Suite: "parsec", MPKI: 0.9, WriteRatio: 0.20, Footprint: 1 << 15, Locality: 0.85},
+	{Name: "streamcluster", Suite: "parsec", MPKI: 11.0, WriteRatio: 0.30, Footprint: 1 << 19, Locality: 0.35},
+	{Name: "swaptions", Suite: "parsec", MPKI: 0.4, WriteRatio: 0.25, Footprint: 1 << 13, Locality: 0.92},
+	{Name: "vips", Suite: "parsec", MPKI: 2.1, WriteRatio: 0.40, Footprint: 1 << 16, Locality: 0.75},
+	{Name: "x264", Suite: "parsec", MPKI: 1.8, WriteRatio: 0.35, Footprint: 1 << 16, Locality: 0.80},
+}
+
+// SPEC lists the 27 SPEC CPU2006 benchmarks with synthetic memory
+// profiles (bzip2 and gcc deliberately sparse: the paper observes they
+// show no IPC degradation at all).
+var SPEC = []Profile{
+	{Name: "perlbench", Suite: "spec", MPKI: 0.8, WriteRatio: 0.30, Footprint: 1 << 15, Locality: 0.85},
+	{Name: "bzip2", Suite: "spec", MPKI: 0.3, WriteRatio: 0.30, Footprint: 1 << 14, Locality: 0.92},
+	{Name: "gcc", Suite: "spec", MPKI: 0.4, WriteRatio: 0.35, Footprint: 1 << 14, Locality: 0.90},
+	{Name: "bwaves", Suite: "spec", MPKI: 2.2, WriteRatio: 0.25, Footprint: 1 << 19, Locality: 0.45},
+	{Name: "gamess", Suite: "spec", MPKI: 0.1, WriteRatio: 0.20, Footprint: 1 << 12, Locality: 0.95},
+	{Name: "mcf", Suite: "spec", MPKI: 3.0, WriteRatio: 0.30, Footprint: 1 << 20, Locality: 0.25},
+	{Name: "milc", Suite: "spec", MPKI: 2.8, WriteRatio: 0.35, Footprint: 1 << 19, Locality: 0.35},
+	{Name: "zeusmp", Suite: "spec", MPKI: 2.0, WriteRatio: 0.35, Footprint: 1 << 17, Locality: 0.65},
+	{Name: "gromacs", Suite: "spec", MPKI: 0.7, WriteRatio: 0.30, Footprint: 1 << 14, Locality: 0.88},
+	{Name: "cactusADM", Suite: "spec", MPKI: 2.0, WriteRatio: 0.40, Footprint: 1 << 17, Locality: 0.60},
+	{Name: "leslie3d", Suite: "spec", MPKI: 1.5, WriteRatio: 0.35, Footprint: 1 << 18, Locality: 0.50},
+	{Name: "namd", Suite: "spec", MPKI: 0.3, WriteRatio: 0.25, Footprint: 1 << 13, Locality: 0.92},
+	{Name: "gobmk", Suite: "spec", MPKI: 0.6, WriteRatio: 0.30, Footprint: 1 << 14, Locality: 0.88},
+	{Name: "dealII", Suite: "spec", MPKI: 1.2, WriteRatio: 0.30, Footprint: 1 << 15, Locality: 0.82},
+	{Name: "soplex", Suite: "spec", MPKI: 1.8, WriteRatio: 0.30, Footprint: 1 << 18, Locality: 0.45},
+	{Name: "povray", Suite: "spec", MPKI: 0.1, WriteRatio: 0.25, Footprint: 1 << 12, Locality: 0.95},
+	{Name: "calculix", Suite: "spec", MPKI: 1.4, WriteRatio: 0.30, Footprint: 1 << 15, Locality: 0.80},
+	{Name: "hmmer", Suite: "spec", MPKI: 0.9, WriteRatio: 0.30, Footprint: 1 << 14, Locality: 0.88},
+	{Name: "sjeng", Suite: "spec", MPKI: 0.5, WriteRatio: 0.30, Footprint: 1 << 14, Locality: 0.90},
+	{Name: "GemsFDTD", Suite: "spec", MPKI: 2.0, WriteRatio: 0.35, Footprint: 1 << 19, Locality: 0.40},
+	{Name: "libquantum", Suite: "spec", MPKI: 2.5, WriteRatio: 0.25, Footprint: 1 << 19, Locality: 0.55},
+	{Name: "h264ref", Suite: "spec", MPKI: 0.7, WriteRatio: 0.35, Footprint: 1 << 14, Locality: 0.88},
+	{Name: "tonto", Suite: "spec", MPKI: 0.6, WriteRatio: 0.30, Footprint: 1 << 14, Locality: 0.88},
+	{Name: "lbm", Suite: "spec", MPKI: 3.5, WriteRatio: 0.45, Footprint: 1 << 20, Locality: 0.30},
+	{Name: "omnetpp", Suite: "spec", MPKI: 2.2, WriteRatio: 0.35, Footprint: 1 << 18, Locality: 0.35},
+	{Name: "astar", Suite: "spec", MPKI: 1.6, WriteRatio: 0.30, Footprint: 1 << 16, Locality: 0.70},
+	{Name: "xalancbmk", Suite: "spec", MPKI: 2.5, WriteRatio: 0.30, Footprint: 1 << 17, Locality: 0.55},
+}
+
+// ByName returns the profile with the given name from either suite.
+func ByName(name string) (Profile, bool) {
+	for _, p := range PARSEC {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range SPEC {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Generator produces a benchmark's memory-access stream.
+type Generator struct {
+	prof  Profile
+	rng   *stats.RNG
+	hot   uint64 // current hot-region base
+	lines uint64 // memory size to wrap into
+}
+
+// NewGenerator builds a generator for prof over a memory of `lines`
+// logical lines.
+func NewGenerator(prof Profile, lines uint64, seed uint64) *Generator {
+	return &Generator{prof: prof, rng: stats.NewRNG(seed), lines: lines}
+}
+
+// Profile returns the generator's benchmark profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Next produces the next access. Gap is drawn geometrically from the MPKI
+// (1000/MPKI core cycles between misses on average, halved for burst
+// pairs), and the line follows a hot-region random walk sized by the
+// footprint with jumps at rate 1-Locality.
+func (g *Generator) Next() Access {
+	p := g.prof
+	// Hot-region random walk over the footprint.
+	if g.rng.Float64() > p.Locality {
+		g.hot = g.rng.Uint64n(g.lines)
+	}
+	span := p.Footprint
+	if span > g.lines {
+		span = g.lines
+	}
+	line := (g.hot + g.rng.Uint64n(span)) % g.lines
+	meanGap := 1000.0 / p.MPKI
+	// Exponential inter-arrival via inverse CDF, quantized to cycles.
+	u := g.rng.Float64()
+	gap := uint64(-meanGap * math.Log(1-u))
+	if gap == 0 {
+		gap = 1
+	}
+	return Access{
+		Line:  line,
+		Write: g.rng.Float64() < p.WriteRatio,
+		Gap:   gap,
+	}
+}
+
+// rngSource adapts stats.RNG to math/rand.Source64.
+type rngSource struct{ r *stats.RNG }
+
+func (s rngSource) Int63() int64 { return int64(s.r.Uint64() >> 1) }
+
+func (s rngSource) Uint64() uint64 { return s.r.Uint64() }
+
+func (s rngSource) Seed(seed int64) { s.r.Seed(uint64(seed)) }
+
+// Zipf produces a skewed line distribution — the classic non-uniform
+// write traffic that motivates wear leveling in the first place.
+type Zipf struct {
+	z     *rand.Zipf
+	perm  func(uint64) uint64
+	lines uint64
+}
+
+// NewZipf builds a Zipf sampler over [0, lines) with exponent s > 1.
+// Ranks are scattered across the address space by a multiplicative hash,
+// so the hot lines are not all at low addresses.
+func NewZipf(lines uint64, s float64, seed uint64) *Zipf {
+	r := rand.New(rngSource{stats.NewRNG(seed)})
+	return &Zipf{
+		z:     rand.NewZipf(r, s, 1, lines-1),
+		lines: lines,
+		perm: func(x uint64) uint64 {
+			return (x * 0x9e3779b97f4a7c15) % lines
+		},
+	}
+}
+
+// Next draws one Zipf-distributed line in [0, lines).
+func (z *Zipf) Next() uint64 { return z.perm(z.z.Uint64()) }

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSuiteSizes(t *testing.T) {
+	// The paper runs 13 PARSEC and 27 SPEC CPU2006 benchmarks.
+	if len(PARSEC) != 13 {
+		t.Fatalf("PARSEC has %d profiles, want 13", len(PARSEC))
+	}
+	if len(SPEC) != 27 {
+		t.Fatalf("SPEC has %d profiles, want 27", len(SPEC))
+	}
+}
+
+func TestProfilesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range append(append([]Profile{}, PARSEC...), SPEC...) {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.MPKI <= 0 || p.MPKI > 50 {
+			t.Errorf("%s: implausible MPKI %v", p.Name, p.MPKI)
+		}
+		if p.WriteRatio <= 0 || p.WriteRatio >= 1 {
+			t.Errorf("%s: write ratio %v", p.Name, p.WriteRatio)
+		}
+		if p.Footprint == 0 {
+			t.Errorf("%s: zero footprint", p.Name)
+		}
+		if p.Locality <= 0 || p.Locality > 1 {
+			t.Errorf("%s: locality %v", p.Name, p.Locality)
+		}
+		if p.Suite != "parsec" && p.Suite != "spec" {
+			t.Errorf("%s: suite %q", p.Name, p.Suite)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("mcf")
+	if !ok || p.Suite != "spec" {
+		t.Fatal("mcf lookup")
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Fatal("unknown benchmark should miss")
+	}
+}
+
+func TestGeneratorStatistics(t *testing.T) {
+	prof, _ := ByName("canneal")
+	g := NewGenerator(prof, 1<<20, 1)
+	const n = 200000
+	var gaps, writes float64
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Line >= 1<<20 {
+			t.Fatalf("line out of memory: %d", a.Line)
+		}
+		gaps += float64(a.Gap)
+		if a.Write {
+			writes++
+		}
+	}
+	// Mean gap ≈ 1000/MPKI cycles.
+	wantGap := 1000 / prof.MPKI
+	if mean := gaps / n; math.Abs(mean-wantGap) > 0.1*wantGap {
+		t.Errorf("mean gap %.1f, want ≈%.1f", mean, wantGap)
+	}
+	if wr := writes / n; math.Abs(wr-prof.WriteRatio) > 0.02 {
+		t.Errorf("write ratio %.3f, want %.3f", wr, prof.WriteRatio)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	prof, _ := ByName("gcc")
+	a := NewGenerator(prof, 1<<16, 7)
+	b := NewGenerator(prof, 1<<16, 7)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	if a.Profile().Name != "gcc" {
+		t.Fatal("profile accessor")
+	}
+}
+
+func TestGeneratorLocality(t *testing.T) {
+	// A high-locality profile should revisit a small neighborhood much
+	// more often than a streaming one.
+	spread := func(name string) int {
+		prof, _ := ByName(name)
+		g := NewGenerator(prof, 1<<20, 3)
+		buckets := map[uint64]bool{}
+		for i := 0; i < 5000; i++ {
+			buckets[g.Next().Line>>12] = true
+		}
+		return len(buckets)
+	}
+	if s1, s2 := spread("povray"), spread("mcf"); s1 >= s2 {
+		t.Fatalf("povray touched %d 4K-line buckets vs mcf %d — locality knob inert", s1, s2)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	z := NewZipf(1<<16, 1.2, 5)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1<<16 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Heavily skewed: the single hottest line should absorb >5% of
+	// accesses, and far fewer than n distinct lines should be touched.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/n < 0.05 {
+		t.Errorf("hottest line only %.3f of traffic — not skewed", float64(max)/n)
+	}
+	if len(counts) > n/2 {
+		t.Errorf("%d distinct lines touched — too uniform", len(counts))
+	}
+}
