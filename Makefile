@@ -1,0 +1,33 @@
+# Local targets mirror .github/workflows/ci.yml exactly: the CI jobs
+# invoke these same targets, so a green `make ci` locally means a green
+# pipeline.
+
+GO ?= go
+
+.PHONY: build fmt fmt-check vet test race bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+# fmt rewrites; fmt-check (what CI runs) only fails on drift.
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Every benchmark must at least execute once without panicking.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: fmt-check test race bench-smoke

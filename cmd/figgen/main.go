@@ -4,29 +4,43 @@
 //
 // Usage:
 //
-//	figgen [-out results] [-stdout] [-full] [-runs N] [fig11 fig12 fig13 fig14 fig15 fig16 overhead perf]
+//	figgen [-out results] [-stdout] [-full] [-runs N]
+//	       [-workers N] [-resume] [-ckpt DIR] [-cell-timeout D] [-quiet]
+//	       [fig11 fig12 fig13 fig14 fig15 fig16 overhead perf]
 //
 // With no figure arguments, every figure is generated. -full evaluates
 // the Monte-Carlo figures (14, 15, 16) at the paper's 1 GB geometry
 // instead of the scaled geometry (minutes instead of seconds); the
 // closed-form figures (11, 12, 13) always use the paper geometry.
+//
+// The Monte-Carlo figures run through the sharded experiment runner
+// (internal/runner): cells spread across -workers goroutines with
+// deterministic per-cell seeds (sharded output is bit-identical to
+// sequential), completed cells checkpoint under -ckpt, and an
+// interrupted run (Ctrl-C, timeout, crash) resumes with -resume without
+// recomputing finished cells. Progress streams to stderr; the per-cell
+// accounting of the whole invocation lands in <out>/runmeta.json.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"securityrbsg/internal/analytic"
 	"securityrbsg/internal/asciiplot"
 	"securityrbsg/internal/core"
+	"securityrbsg/internal/experiments"
 	"securityrbsg/internal/lifetime"
-	"securityrbsg/internal/parallel"
 	"securityrbsg/internal/perfmodel"
-	"securityrbsg/internal/stats"
+	"securityrbsg/internal/runner"
 	"securityrbsg/internal/wear"
 	"securityrbsg/internal/workload"
 )
@@ -37,6 +51,11 @@ func main() {
 	full := flag.Bool("full", false, "run Monte-Carlo figures at the paper's 1 GB geometry")
 	runs := flag.Int("runs", 5, "random-key trials to average (the paper uses 5)")
 	plot := flag.Bool("plot", false, "also draw ASCII charts on stdout")
+	workers := flag.Int("workers", 0, "worker goroutines for Monte-Carlo grids (0 = NumCPU)")
+	resume := flag.Bool("resume", false, "skip cells already checkpointed under -ckpt")
+	ckptDir := flag.String("ckpt", "results/.checkpoints", "checkpoint directory ('' disables checkpointing)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-time budget (0 = none); timed-out cells are retriable via -resume")
+	quiet := flag.Bool("quiet", false, "suppress the live progress ticker")
 	flag.Parse()
 
 	figs := flag.Args()
@@ -44,7 +63,16 @@ func main() {
 		figs = []string{"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "overhead", "perf"}
 	}
 
-	g := &generator{outDir: *outDir, stdout: *toStdout, full: *full, runs: *runs, plot: *plot}
+	// Ctrl-C / SIGTERM cancel the grid cleanly: completed cells keep
+	// their checkpoints, so -resume picks up where the run stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	g := &generator{
+		ctx: ctx, outDir: *outDir, stdout: *toStdout, full: *full, runs: *runs,
+		plot: *plot, workers: *workers, resume: *resume, ckptDir: *ckptDir,
+		cellTimeout: *cellTimeout, quiet: *quiet,
+	}
 	for _, f := range figs {
 		var err error
 		switch f {
@@ -68,18 +96,73 @@ func main() {
 			err = fmt.Errorf("unknown figure %q", f)
 		}
 		if err != nil {
+			g.writeMeta()
 			fmt.Fprintf(os.Stderr, "figgen: %s: %v\n", f, err)
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "figgen: interrupted — rerun with -resume to continue without recomputing finished cells")
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 	}
+	g.writeMeta()
 }
 
 type generator struct {
-	outDir string
-	stdout bool
-	full   bool
-	runs   int
-	plot   bool
+	ctx         context.Context
+	outDir      string
+	stdout      bool
+	full        bool
+	runs        int
+	plot        bool
+	workers     int
+	resume      bool
+	ckptDir     string
+	cellTimeout time.Duration
+	quiet       bool
+	reports     []*runner.Report
+}
+
+// scale maps -full onto the experiment geometry.
+func (g *generator) scale() experiments.Scale {
+	if g.full {
+		return experiments.ScaleFull
+	}
+	return experiments.ScaleLaptop
+}
+
+// runGrid drives one Monte-Carlo grid through the sharded runner and
+// fails if any cell did (pointing at -resume for the retry).
+func (g *generator) runGrid(grid runner.Grid) (*runner.Report, error) {
+	opts := runner.Options{
+		Workers:       g.workers,
+		CellTimeout:   g.cellTimeout,
+		CheckpointDir: g.ckptDir,
+		Resume:        g.resume,
+	}
+	if !g.quiet {
+		opts.Progress = os.Stderr
+	}
+	rep, err := runner.Run(g.ctx, grid, opts)
+	if rep != nil {
+		g.reports = append(g.reports, rep)
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, rep.FailedErr()
+}
+
+// writeMeta records the invocation's per-cell accounting as
+// machine-readable JSON next to the CSVs.
+func (g *generator) writeMeta() {
+	if g.stdout || len(g.reports) == 0 {
+		return
+	}
+	path := filepath.Join(g.outDir, "runmeta.json")
+	if err := runner.WriteMetaFile(path, g.reports...); err != nil {
+		fmt.Fprintf(os.Stderr, "figgen: runmeta: %v\n", err)
+	}
 }
 
 // emit writes one CSV-formatted table.
@@ -140,12 +223,8 @@ func (g *generator) fig11() error {
 
 // srGrid is Table I of the paper.
 func srGrid(f func(p lifetime.SRParams)) {
-	for _, regions := range []uint64{256, 512, 1024} {
-		for _, inner := range []uint64{16, 32, 64, 128} {
-			for _, outer := range []uint64{16, 32, 64, 128, 256} {
-				f(lifetime.SRParams{Regions: regions, InnerInterval: inner, OuterInterval: outer})
-			}
-		}
+	for _, c := range experiments.Fig15CellList() {
+		f(lifetime.SRParams{Regions: c.Regions, InnerInterval: c.Inner, OuterInterval: c.Outer})
 	}
 }
 
@@ -180,48 +259,28 @@ func (g *generator) fig13() error {
 	})
 }
 
-// srbsgGeometry picks the device/params geometry for the Monte-Carlo
-// figures: paper scale with -full, the ratio-preserving scaled geometry
-// otherwise. Lifetimes are reported via fraction-of-ideal either way.
-func (g *generator) srbsgGeometry(stages int) (lifetime.Device, lifetime.SRBSGParams) {
-	if g.full {
-		d := lifetime.PaperDevice()
-		p := lifetime.SuggestedSRBSGParams()
-		p.Stages = stages
-		return d, p
-	}
-	return lifetime.ScaledSRBSGExperiment(stages)
-}
-
 // fig14: Security RBSG lifetime vs DFN stage count under RAA and BPA,
-// with the two-level SR RAA level for comparison.
+// with the two-level SR RAA level for comparison. The stage sweep runs
+// as a sharded grid through internal/runner.
 func (g *generator) fig14() error {
 	paper := lifetime.PaperDevice()
 	srRAA := lifetime.RAAOnTwoLevelSR(paper, lifetime.SuggestedSRParams())
+	rep, err := g.runGrid(experiments.Fig14Grid(g.scale(), g.runs))
+	if err != nil {
+		return err
+	}
 	var raaSeries, bpaSeries []float64
-	err := g.emit("fig14_stage_sweep.csv", func(w io.Writer) error {
+	err = g.emit("fig14_stage_sweep.csv", func(w io.Writer) error {
 		fmt.Fprintln(w, "stages,raa_fraction_of_ideal,raa_days_at_1GB,bpa_fraction_of_ideal")
-		type row struct {
-			raa, bpa float64
-		}
-		rows, err := parallel.MapErr(18, 0, func(i int) (row, error) {
-			d, p := g.srbsgGeometry(i + 3)
-			raa, err := lifetime.RAAOnSecurityRBSGAvg(d, p, g.runs, 42)
-			if err != nil {
-				return row{}, err
-			}
-			return row{raa.FractionOfIdeal, lifetime.BPAOnSecurityRBSG(d, p).FractionOfIdeal}, nil
-		})
-		if err != nil {
-			return err
-		}
-		for i, r := range rows {
-			raaSeries = append(raaSeries, 100*r.raa)
-			bpaSeries = append(bpaSeries, 100*r.bpa)
+		for i, res := range rep.Results {
+			raa := res.Metrics.Values["raa_fraction"]
+			bpa := res.Metrics.Values["bpa_fraction"]
+			raaSeries = append(raaSeries, 100*raa)
+			bpaSeries = append(bpaSeries, 100*bpa)
 			fmt.Fprintf(w, "%d,%.3f,%.0f,%.3f\n",
-				i+3, r.raa,
-				analytic.SecondsToDays(r.raa*paper.IdealSeconds()),
-				r.bpa)
+				i+3, raa,
+				analytic.SecondsToDays(raa*paper.IdealSeconds()),
+				bpa)
 		}
 		fmt.Fprintf(w, "# two-level SR under RAA: %.3f of ideal (%.0f days)\n",
 			srRAA.FractionOfIdeal, analytic.SecondsToDays(srRAA.Seconds))
@@ -241,47 +300,22 @@ func (g *generator) fig14() error {
 	return err
 }
 
-// fig15: Security RBSG lifetime under RAA over the Table-I grid.
+// fig15: Security RBSG lifetime under RAA over the Table-I grid,
+// sharded across workers through internal/runner.
 func (g *generator) fig15() error {
 	paper := lifetime.PaperDevice()
-	type cell struct{ regions, inner, outer uint64 }
-	var grid []cell
-	for _, regions := range []uint64{256, 512, 1024} {
-		for _, inner := range []uint64{16, 32, 64, 128} {
-			for _, outer := range []uint64{16, 32, 64, 128, 256} {
-				grid = append(grid, cell{regions, inner, outer})
-			}
-		}
+	rep, err := g.runGrid(experiments.Fig15Grid(g.scale(), g.runs))
+	if err != nil {
+		return err
 	}
+	grid := experiments.Fig15CellList()
 	return g.emit("fig15_srbsg_raa.csv", func(w io.Writer) error {
 		fmt.Fprintln(w, "subregions,inner,outer,fraction_of_ideal,days_at_1GB")
-		fracs, err := parallel.MapErr(len(grid), 0, func(i int) (float64, error) {
-			c := grid[i]
-			var d lifetime.Device
-			p := lifetime.SRBSGParams{
-				Regions: c.regions, InnerInterval: c.inner,
-				OuterInterval: c.outer, Stages: 7,
-			}
-			if g.full {
-				d = lifetime.PaperDevice()
-			} else {
-				// Preserve m ≈ 191 and scale the region count with the
-				// 16x-smaller line count.
-				p.Regions = c.regions / 16
-				lines := uint64(1) << 18
-				quantum := (lines/p.Regions + 1) * p.InnerInterval
-				d = lifetime.ScaledDevice(lines, 191*quantum)
-			}
-			e, err := lifetime.RAAOnSecurityRBSGAvg(d, p, g.runs, 7)
-			return e.FractionOfIdeal, err
-		})
-		if err != nil {
-			return err
-		}
 		for i, c := range grid {
+			frac := rep.Results[i].Metrics.Values["fraction"]
 			fmt.Fprintf(w, "%d,%d,%d,%.3f,%.0f\n",
-				c.regions, c.inner, c.outer, fracs[i],
-				analytic.SecondsToDays(fracs[i]*paper.IdealSeconds()))
+				c.Regions, c.Inner, c.Outer, frac,
+				analytic.SecondsToDays(frac*paper.IdealSeconds()))
 		}
 		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(paper.IdealSeconds()))
 		return nil
@@ -289,50 +323,31 @@ func (g *generator) fig15() error {
 }
 
 // fig16: normalized accumulated writes across the address space after
-// 10^10..10^13 RAA writes.
+// 10^10..10^13 RAA writes (scaled with the geometry), one runner cell
+// per write total.
 func (g *generator) fig16() error {
-	var d lifetime.Device
-	var p lifetime.SRBSGParams
-	var totals []float64
-	if g.full {
-		d = lifetime.PaperDevice()
-		p = lifetime.SuggestedSRBSGParams()
-		totals = []float64{1e10, 1e11, 1e12, 1e13}
-	} else {
-		d, p = lifetime.ScaledSRBSGExperiment(7)
-		// Scale the write totals with the line count (2^18 vs 2^22).
-		totals = []float64{1e10 / 16, 1e11 / 16, 1e12 / 16, 1e13 / 16}
+	totals := experiments.Fig16Totals(g.scale())
+	rep, err := g.runGrid(experiments.Fig16Grid(g.scale()))
+	if err != nil {
+		return err
 	}
-	const points = 64
 	var plotSeries []asciiplot.Series
-	err := g.emit("fig16_write_distribution.csv", func(w io.Writer) error {
+	err = g.emit("fig16_write_distribution.csv", func(w io.Writer) error {
 		fmt.Fprint(w, "address_fraction")
 		for _, t := range totals {
 			fmt.Fprintf(w, ",cum_at_%.0e", t)
 		}
 		fmt.Fprintln(w)
-		series := make([][]float64, len(totals))
-		for i, total := range totals {
-			counts, err := lifetime.WriteDistribution(d, p, total, 11)
-			if err != nil {
-				return err
-			}
-			pts := make([]int, points)
-			for k := range pts {
-				pts[k] = (k + 1) * len(counts) / points
-			}
-			series[i] = stats.NormalizedCumulative(counts, pts)
-		}
-		for k := 0; k < points; k++ {
-			fmt.Fprintf(w, "%.4f", float64(k+1)/points)
+		for k := 0; k < experiments.Fig16Points; k++ {
+			fmt.Fprintf(w, "%.4f", float64(k+1)/experiments.Fig16Points)
 			for i := range totals {
-				fmt.Fprintf(w, ",%.4f", series[i][k])
+				fmt.Fprintf(w, ",%.4f", rep.Results[i].Metrics.Series[k])
 			}
 			fmt.Fprintln(w)
 		}
 		for i, total := range totals {
 			plotSeries = append(plotSeries, asciiplot.Series{
-				Name: fmt.Sprintf("%.0e", total), Y: series[i],
+				Name: fmt.Sprintf("%.0e", total), Y: rep.Results[i].Metrics.Series,
 			})
 		}
 		return nil

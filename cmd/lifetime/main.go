@@ -6,21 +6,31 @@
 //
 //	lifetime [-scheme none|start-gap|rbsg|two-level-sr|security-rbsg]
 //	         [-attack raa|bpa|rta]
-//	         [-regions R] [-inner ψ] [-outer ψ] [-stages S] [-runs N]
-//	lifetime -compare
+//	         [-regions R] [-inner ψ] [-outer ψ] [-stages S] [-runs N] [-seed S]
+//	lifetime -compare [-workers N] [-quiet]
 //
 // All results are for the paper's device: a 1 GB PCM bank of 256 B lines
 // with 10^8 write endurance, SET/RESET/READ = 1000/125/125 ns.
+//
+// -compare drives its (scheme × attack) grid through the sharded
+// experiment runner (internal/runner): rows evaluate concurrently on
+// -workers goroutines with deterministic per-cell seeds, so the table is
+// identical no matter how it is sharded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"securityrbsg/internal/analytic"
+	"securityrbsg/internal/experiments"
 	"securityrbsg/internal/lifetime"
+	"securityrbsg/internal/runner"
 )
 
 func main() {
@@ -31,18 +41,30 @@ func main() {
 	outer := flag.Uint64("outer", 128, "outer remapping interval")
 	stages := flag.Int("stages", 7, "DFN stages (security-rbsg only)")
 	runs := flag.Int("runs", 5, "random-key trials to average")
+	seed := flag.Uint64("seed", 42, "RNG seed for the single-triple evaluation")
 	compare := flag.Bool("compare", false, "print the cross-scheme comparison table")
+	workers := flag.Int("workers", 0, "worker goroutines for -compare (0 = NumCPU)")
+	quiet := flag.Bool("quiet", false, "suppress the -compare progress ticker")
 	flag.Parse()
 
 	d := lifetime.PaperDevice()
 	if *compare {
-		compareAll(d, *runs)
+		if err := compareAll(d, *runs, *workers, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "lifetime:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
-	e, err := evaluate(d, *scheme, *attackName, lifetime.SRBSGParams{
+	p := lifetime.SRBSGParams{
 		Regions: *regions, InnerInterval: *inner, OuterInterval: *outer, Stages: *stages,
-	}, *runs)
+	}
+	if *scheme == "security-rbsg" && *attackName == "rta" &&
+		analytic.DetectionOutrunsKeys(p.Stages, d.AddressBits(), p.OuterInterval) {
+		fmt.Fprintf(os.Stderr, "warning: %d stages leak at outer interval %d (need %d)\n",
+			p.Stages, p.OuterInterval, analytic.MinStages(p.OuterInterval, d.AddressBits()))
+	}
+	e, err := experiments.Evaluate(d, *scheme, *attackName, p, *runs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lifetime:", err)
 		os.Exit(1)
@@ -54,77 +76,33 @@ func main() {
 		analytic.HumanDuration(d.IdealSeconds()))
 }
 
-func evaluate(d lifetime.Device, scheme, att string, p lifetime.SRBSGParams, runs int) (lifetime.Estimate, error) {
-	sr := lifetime.SRParams{Regions: p.Regions, InnerInterval: p.InnerInterval, OuterInterval: p.OuterInterval}
-	rb := lifetime.RBSGParams{Regions: p.Regions, Interval: p.InnerInterval}
-	switch scheme + "/" + att {
-	case "none/raa", "none/bpa", "none/rta":
-		return lifetime.Baseline(d), nil
-	case "start-gap/raa":
-		return lifetime.RAAOnStartGap(d, p.InnerInterval), nil
-	case "rbsg/raa":
-		return lifetime.RAAOnRBSG(d, rb), nil
-	case "rbsg/bpa":
-		return lifetime.BPAOnRBSG(d, rb), nil
-	case "rbsg/rta":
-		return lifetime.RTAOnRBSG(d, rb), nil
-	case "multiway-sr/focused", "multiway-sr/rta":
-		return lifetime.FocusedOnMultiWay(d, p.Regions, p.InnerInterval), nil
-	case "two-level-sr/raa":
-		return lifetime.RAAOnTwoLevelSR(d, sr), nil
-	case "two-level-sr/bpa":
-		return lifetime.BPAOnTwoLevelSR(d, sr), nil
-	case "two-level-sr/rta":
-		return lifetime.RTAOnTwoLevelSRAvg(d, sr, runs, 1), nil
-	case "security-rbsg/raa":
-		return lifetime.RAAOnSecurityRBSGAvg(d, p, runs, 42)
-	case "security-rbsg/bpa":
-		return lifetime.BPAOnSecurityRBSG(d, p), nil
-	case "security-rbsg/rta":
-		e, secure, err := lifetime.RTAOnSecurityRBSG(d, p, 42)
-		if err == nil && !secure {
-			fmt.Fprintf(os.Stderr, "warning: %d stages leak at outer interval %d (need %d)\n",
-				p.Stages, p.OuterInterval, analytic.MinStages(p.OuterInterval, d.AddressBits()))
-		}
-		return e, err
-	default:
-		return lifetime.Estimate{}, fmt.Errorf("unsupported combination %s/%s", scheme, att)
+// compareAll prints the headline comparison — every scheme at its
+// recommended configuration under each attack — evaluating the rows
+// concurrently through the experiment runner.
+func compareAll(d lifetime.Device, runs, workers int, quiet bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts := runner.Options{Workers: workers}
+	if !quiet {
+		opts.Progress = os.Stderr
 	}
-}
-
-// compareAll prints the headline comparison: every scheme at its
-// recommended configuration under each attack.
-func compareAll(d lifetime.Device, runs int) {
+	rep, err := runner.Run(ctx, experiments.CompareGrid(d, runs), opts)
+	if err != nil {
+		return err
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 	fmt.Fprintln(w, "scheme\tattack\tlifetime\tfraction of ideal")
-	rows := []struct {
-		scheme, attack string
-		p              lifetime.SRBSGParams
-	}{
-		{"none", "raa", lifetime.SRBSGParams{}},
-		{"rbsg", "raa", lifetime.SRBSGParams{Regions: 32, InnerInterval: 100}},
-		{"rbsg", "bpa", lifetime.SRBSGParams{Regions: 32, InnerInterval: 100}},
-		{"rbsg", "rta", lifetime.SRBSGParams{Regions: 32, InnerInterval: 100}},
-		{"multiway-sr", "focused", srbsgDefaults()},
-		{"two-level-sr", "raa", srbsgDefaults()},
-		{"two-level-sr", "rta", srbsgDefaults()},
-		{"security-rbsg", "raa", srbsgDefaults()},
-		{"security-rbsg", "bpa", srbsgDefaults()},
-		{"security-rbsg", "rta", srbsgDefaults()},
-	}
-	for _, r := range rows {
-		e, err := evaluate(d, r.scheme, r.attack, r.p, runs)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lifetime: %v\n", err)
+	for _, res := range rep.Results {
+		if res.Status != runner.StatusDone && res.Status != runner.StatusResumed {
+			fmt.Fprintf(os.Stderr, "lifetime: %s: %s\n", res.ID, res.Error)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f%%\n",
-			r.scheme, r.attack, analytic.HumanDuration(e.Seconds), 100*e.FractionOfIdeal)
+			res.Labels["scheme"], res.Labels["attack"],
+			analytic.HumanDuration(res.Metrics.Values["seconds"]),
+			100*res.Metrics.Values["fraction"])
 	}
 	fmt.Fprintf(w, "(ideal)\t—\t%s\t100%%\n", analytic.HumanDuration(d.IdealSeconds()))
-}
-
-func srbsgDefaults() lifetime.SRBSGParams {
-	return lifetime.SRBSGParams{Regions: 512, InnerInterval: 64, OuterInterval: 128, Stages: 7}
+	return nil
 }

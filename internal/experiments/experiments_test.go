@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"securityrbsg/internal/lifetime"
+	"securityrbsg/internal/runner"
+)
+
+func metricsBytes(t *testing.T, rep *runner.Report) []byte {
+	t.Helper()
+	ms := make([]runner.Metrics, len(rep.Results))
+	for i, r := range rep.Results {
+		ms[i] = r.Metrics
+	}
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFig15ShardedBitIdentical is the acceptance check for the runner:
+// a figgen Monte-Carlo grid sharded over 8 workers must produce
+// bit-identical results to a sequential run.
+func TestFig15ShardedBitIdentical(t *testing.T) {
+	g := Fig15Grid(ScaleTest, 2)
+	seq, err := runner.Run(context.Background(), g, runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.Run(context.Background(), g, runner.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Done != len(g.Cells) || par.Done != len(g.Cells) {
+		t.Fatalf("incomplete runs: seq=%d par=%d of %d", seq.Done, par.Done, len(g.Cells))
+	}
+	if !bytes.Equal(metricsBytes(t, seq), metricsBytes(t, par)) {
+		t.Fatal("workers=8 fig15 results differ from workers=1")
+	}
+}
+
+func TestFig14GridProducesSaneFractions(t *testing.T) {
+	g := Fig14Grid(ScaleTest, 2)
+	rep, err := runner.Run(context.Background(), g, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.FailedErr(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		raa := r.Metrics.Values["raa_fraction"]
+		bpa := r.Metrics.Values["bpa_fraction"]
+		if raa <= 0 || raa > 1.5 || bpa <= 0 || bpa > 1.5 {
+			t.Fatalf("cell %s: implausible fractions raa=%g bpa=%g", r.ID, raa, bpa)
+		}
+	}
+	// More DFN stages must not make RAA lifetimes collapse: the last
+	// cell (20 stages) should beat the weakest cipher (3 stages).
+	first := rep.Results[0].Metrics.Values["raa_fraction"]
+	last := rep.Results[len(rep.Results)-1].Metrics.Values["raa_fraction"]
+	if last < first/2 {
+		t.Fatalf("20 stages (%g) much worse than 3 stages (%g)", last, first)
+	}
+}
+
+func TestFig16SeriesAreCumulativeCurves(t *testing.T) {
+	g := Fig16Grid(ScaleTest)
+	rep, err := runner.Run(context.Background(), g, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.FailedErr(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		s := r.Metrics.Series
+		if len(s) != Fig16Points {
+			t.Fatalf("cell %s: %d points, want %d", r.ID, len(s), Fig16Points)
+		}
+		for k := 1; k < len(s); k++ {
+			if s[k] < s[k-1] {
+				t.Fatalf("cell %s: series not nondecreasing at %d", r.ID, k)
+			}
+		}
+		if got := s[len(s)-1]; got < 0.999 || got > 1.001 {
+			t.Fatalf("cell %s: cumulative curve ends at %g, want 1", r.ID, got)
+		}
+	}
+}
+
+func TestCompareGridCoversAllRowsDeterministically(t *testing.T) {
+	// A tiny device keeps every scheme's model fast while exercising the
+	// same code paths as the paper-scale table.
+	quantum := uint64((1<<12)/512+1) * 64
+	d := lifetime.ScaledDevice(1<<12, 8*quantum)
+	g := CompareGrid(d, 2)
+	seq, err := runner.Run(context.Background(), g, runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.Run(context.Background(), g, runner.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.FailedErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != len(CompareRows()) {
+		t.Fatalf("%d rows, want %d", len(seq.Results), len(CompareRows()))
+	}
+	if !bytes.Equal(metricsBytes(t, seq), metricsBytes(t, par)) {
+		t.Fatal("sharded comparison differs from sequential")
+	}
+	for _, r := range seq.Results {
+		if r.Metrics.Values["writes"] <= 0 {
+			t.Fatalf("row %s: no writes recorded", r.ID)
+		}
+	}
+}

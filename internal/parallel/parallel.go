@@ -47,6 +47,31 @@ func ForEach(n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
+// ForEachErr is ForEach for fallible work: it runs f(i) for every i in
+// [0, n) and returns the errors in index-addressed slots (nil entries
+// for successes), so callers can tell exactly which work items failed —
+// and, for example, retry just those — rather than learning only that
+// something failed. It returns nil when n <= 0.
+func ForEachErr(n, workers int, f func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { errs[i] = f(i) })
+	return errs
+}
+
+// First returns the lowest-index non-nil error in errs, or nil — the
+// deterministic reduction of an index-addressed error slice.
+func First(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Map runs f over [0, n) in parallel and collects the results in index
 // order — the deterministic gather for Monte-Carlo sweeps.
 func Map[T any](n, workers int, f func(i int) T) []T {
@@ -59,12 +84,10 @@ func Map[T any](n, workers int, f func(i int) T) []T {
 // (not by completion time), keeping failures deterministic too.
 func MapErr[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	errs := make([]error, n)
-	ForEach(n, workers, func(i int) { out[i], errs[i] = f(i) })
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	errs := ForEachErr(n, workers, func(i int) error {
+		var err error
+		out[i], err = f(i)
+		return err
+	})
+	return out, First(errs)
 }

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// checkpointStore persists one JSON file per completed cell under
+// <root>/<sanitized grid name>/. Writes go to a temporary file in the
+// same directory followed by an atomic rename, so a checkpoint is either
+// absent or complete — a run killed mid-write never poisons a resume.
+type checkpointStore struct {
+	dir string
+}
+
+func openCheckpointStore(root, grid string) (*checkpointStore, error) {
+	dir := filepath.Join(root, sanitize(grid))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	return &checkpointStore{dir: dir}, nil
+}
+
+// path names the checkpoint file for one cell: a hash keeps filenames
+// short and filesystem-safe regardless of what characters the ID uses;
+// the ID stored inside the file is what resume matches on.
+func (s *checkpointStore) path(cellID string) string {
+	h := fnv.New64a()
+	h.Write([]byte(cellID))
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.json", h.Sum64()))
+}
+
+func (s *checkpointStore) save(res CellResult) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint %s: %w", res.ID, err)
+	}
+	final := s.path(res.ID)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: checkpoint %s: %w", res.ID, err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("runner: checkpoint %s: %w", res.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("runner: checkpoint %s: %w", res.ID, err)
+	}
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("runner: checkpoint %s: %w", res.ID, err)
+	}
+	return nil
+}
+
+// load reads every checkpoint in the grid's directory, keyed by cell ID.
+// Unreadable or corrupt files are skipped — the worst case is
+// recomputing a cell, never trusting a bad record.
+func (s *checkpointStore) load() map[string]CellResult {
+	out := map[string]CellResult{}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var res CellResult
+		if err := json.Unmarshal(data, &res); err != nil || res.ID == "" {
+			continue
+		}
+		out[res.ID] = res
+	}
+	return out
+}
+
+// sanitize maps a grid name onto one filesystem-safe path segment.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '_' || r == '.' || r == '=':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"securityrbsg/internal/stats"
+)
+
+// TestResumeSkipsCompletedCells interrupts a grid mid-run via context
+// cancellation, restarts it with Resume, and asserts that (1) cells
+// checkpointed by the first run are never recomputed and (2) the merged
+// results are byte-identical to an uninterrupted run of the same grid.
+func TestResumeSkipsCompletedCells(t *testing.T) {
+	const n = 20
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{ID: fmt.Sprintf("cell=%03d", i)}
+	}
+	compute := func(seed uint64) Metrics {
+		rng := stats.NewRNG(seed)
+		sum := 0.0
+		for i := 0; i < 500; i++ {
+			sum += rng.Float64()
+		}
+		return Metrics{Values: map[string]float64{"sum": sum}, SimWrites: 500}
+	}
+	grid := func(run func(ctx context.Context, c Cell, seed uint64) (Metrics, error)) Grid {
+		return Grid{Name: "resume-test", Cells: cells, Run: run}
+	}
+
+	// Reference: an uninterrupted run (own checkpoint dir).
+	ref, err := Run(context.Background(), grid(func(_ context.Context, _ Cell, seed uint64) (Metrics, error) {
+		return compute(seed), nil
+	}), Options{Workers: 4, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First interrupted run: cancel once a few cells have completed.
+	ckpt := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	executed1 := map[string]bool{}
+	var completed int
+	rep1, err := Run(ctx, grid(func(ctx context.Context, c Cell, seed uint64) (Metrics, error) {
+		mu.Lock()
+		executed1[c.ID] = true
+		mu.Unlock()
+		m := compute(seed)
+		mu.Lock()
+		completed++
+		if completed == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return m, nil
+	}), Options{Workers: 2, CheckpointDir: ckpt})
+	cancel()
+	if err == nil {
+		t.Fatal("interrupted run must surface the cancellation")
+	}
+	if rep1.Done == 0 || rep1.Cancelled == 0 {
+		t.Fatalf("expected a genuinely partial run, got done=%d cancelled=%d", rep1.Done, rep1.Cancelled)
+	}
+	finished := map[string]bool{}
+	for _, r := range rep1.Results {
+		if r.Status == StatusDone {
+			finished[r.ID] = true
+		}
+	}
+
+	// Second run with Resume: completed cells must come from checkpoints.
+	executed2 := map[string]bool{}
+	rep2, err := Run(context.Background(), grid(func(_ context.Context, c Cell, seed uint64) (Metrics, error) {
+		mu.Lock()
+		executed2[c.ID] = true
+		mu.Unlock()
+		return compute(seed), nil
+	}), Options{Workers: 4, CheckpointDir: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != len(finished) {
+		t.Fatalf("resumed %d cells, want %d (the checkpointed ones)", rep2.Resumed, len(finished))
+	}
+	if rep2.Done+rep2.Resumed != n || rep2.Failed != 0 || rep2.Cancelled != 0 {
+		t.Fatalf("resume run incomplete: %+v", rep2)
+	}
+	for id := range finished {
+		if executed2[id] {
+			t.Fatalf("cell %s was recomputed despite a valid checkpoint", id)
+		}
+	}
+	for _, r := range rep2.Results {
+		wantStatus := StatusDone
+		if finished[r.ID] {
+			wantStatus = StatusResumed
+		}
+		if r.Status != wantStatus {
+			t.Fatalf("cell %s: status %s, want %s", r.ID, r.Status, wantStatus)
+		}
+	}
+
+	// The merged results must be byte-identical to the uninterrupted run.
+	if !bytes.Equal(metricsBytes(t, ref), metricsBytes(t, rep2)) {
+		t.Fatal("resumed results differ from an uninterrupted run")
+	}
+}
+
+// TestResumeIgnoresStaleSeeds: a checkpoint whose recorded seed no
+// longer matches the expected one (e.g. the grid was renamed or the
+// seeding scheme changed) must be recomputed, not trusted.
+func TestResumeIgnoresStaleSeeds(t *testing.T) {
+	ckpt := t.TempDir()
+	store, err := openCheckpointStore(ckpt, "stale-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a checkpoint with the right ID but the wrong seed.
+	if err := store.save(CellResult{
+		ID: "cell=000", Seed: 12345, Status: StatusDone,
+		Metrics: Metrics{Values: map[string]float64{"sum": -1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	rep, err := Run(context.Background(), Grid{
+		Name:  "stale-test",
+		Cells: []Cell{{ID: "cell=000"}},
+		Run: func(_ context.Context, _ Cell, seed uint64) (Metrics, error) {
+			ran = true
+			return Metrics{Values: map[string]float64{"sum": 1}}, nil
+		},
+	}, Options{Workers: 1, CheckpointDir: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || rep.Resumed != 0 || rep.Done != 1 {
+		t.Fatalf("stale checkpoint was trusted: ran=%v %+v", ran, rep)
+	}
+	if rep.Results[0].Metrics.Values["sum"] != 1 {
+		t.Fatal("stale metrics leaked into the report")
+	}
+}
