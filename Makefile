@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt fmt-check vet test race bench-smoke ci
+.PHONY: build fmt fmt-check vet test race bench-smoke serve serve-smoke loadgen ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,17 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: fmt-check test race bench-smoke
+# Run the memory-controller daemon with defaults (Ctrl-C drains).
+serve:
+	$(GO) run ./cmd/memctld
+
+# Drive a running memctld with the default closed-loop benign stream.
+loadgen:
+	$(GO) run ./cmd/loadgen
+
+# End-to-end server check: boot memctld, drive it with loadgen under
+# benign and attack streams, assert detector + metrics + clean drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: fmt-check test race bench-smoke serve-smoke

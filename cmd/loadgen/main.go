@@ -1,0 +1,222 @@
+// Command loadgen is a closed-loop, multi-worker client for memctld:
+// the repo's end-to-end throughput benchmark. Each worker issues
+// batches over /v1/batch and immediately issues the next when the
+// previous completes, so offered load tracks server capacity.
+//
+// Streams (-pattern):
+//
+//	uniform — independent uniform lines, MIXED data: benign traffic
+//	          that spreads across banks and regions (detector stays quiet)
+//	hotspot — Zipf-distributed lines: skewed but honest traffic
+//	attack  — every worker hammers one line with ALL-1 data, the
+//	          repeated-address shape of the paper's RAA; the per-bank
+//	          detector must alarm on it
+//
+// After the run it prints sustained line-ops/s, a wall-clock latency
+// histogram with p50/p90/p99, and the server-side /metrics counters
+// (remap events, detector alarms, wear percentiles).
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8100 -workers 8 -duration 5s
+//	loadgen -pattern attack -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"securityrbsg/internal/memserver"
+	"securityrbsg/internal/stats"
+	"securityrbsg/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8100", "memctld base URL")
+	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
+	duration := flag.Duration("duration", 5*time.Second, "run length")
+	batch := flag.Int("batch", 256, "lines per /v1/batch request")
+	pattern := flag.String("pattern", "uniform", "uniform|hotspot|attack")
+	readShare := flag.Float64("reads", 0.0, "fraction of ops issued as reads")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew for -pattern hotspot")
+	seed := flag.Uint64("seed", 1, "address-stream seed")
+	flag.Parse()
+
+	client := memserver.NewClient(*addr)
+	if err := client.Healthz(); err != nil {
+		fatal(fmt.Errorf("server not healthy: %w", err))
+	}
+	before, err := client.Metrics()
+	if err != nil {
+		fatal(err)
+	}
+	lines := uint64(before["memctld_lines"])
+	if lines == 0 {
+		fatal(fmt.Errorf("server reports zero lines"))
+	}
+
+	var wg sync.WaitGroup
+	results := make([]workerResult, *workers)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runWorker(*addr, workerConfig{
+				id: w, lines: lines, batch: *batch,
+				pattern: *pattern, readShare: *readShare,
+				zipfS: *zipfS, seed: *seed + uint64(w)*7919,
+			}, deadline)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerResult
+	for _, r := range results {
+		total.ops += r.ops
+		total.rejected += r.rejected
+		total.batches += r.batches
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	opsPerSec := float64(total.ops) / elapsed.Seconds()
+	fmt.Printf("loadgen: pattern=%s workers=%d batch=%d duration=%v\n",
+		*pattern, *workers, *batch, elapsed.Round(time.Millisecond))
+	fmt.Printf("sustained: %.0f line-ops/s (%d ops in %d batches, %d rejected by backpressure)\n",
+		opsPerSec, total.ops, total.batches, total.rejected)
+	printLatency(total.latencies)
+
+	after, err := client.Metrics()
+	if err != nil {
+		fatal(err)
+	}
+	delta := func(name string) float64 { return after[name] - before[name] }
+	fmt.Printf("server: +%.0f demand writes (+%.0f SET, +%.0f RESET), +%.0f remap events, +%.0f boosted moves\n",
+		delta("memctld_demand_writes_total"), delta("memctld_set_writes_total"),
+		delta("memctld_reset_writes_total"), delta("memctld_remap_events_total"),
+		delta("memctld_detector_boosted_moves_total"))
+	fmt.Printf("detector alarms: %.0f (run) / %.0f (lifetime)\n",
+		delta("memctld_detector_alarms_total"), after["memctld_detector_alarms_total"])
+	fmt.Printf("wear: p50 %.0f p90 %.0f p99 %.0f (per-bank sums), failed lines %.0f\n",
+		after["memctld_wear_p50"], after["memctld_wear_p90"], after["memctld_wear_p99"],
+		after["memctld_failed_lines"])
+}
+
+type workerConfig struct {
+	id        int
+	lines     uint64
+	batch     int
+	pattern   string
+	readShare float64
+	zipfS     float64
+	seed      uint64
+}
+
+type workerResult struct {
+	ops       uint64
+	batches   uint64
+	rejected  uint64
+	latencies []float64 // per-batch wall latency, microseconds
+}
+
+// runWorker is one closed loop: build a batch from the address stream,
+// POST it, record wall latency, repeat until the deadline.
+func runWorker(addr string, cfg workerConfig, deadline time.Time) workerResult {
+	client := memserver.NewClient(addr)
+	rng := stats.NewRNG(cfg.seed)
+	var next func() uint64
+	content := uint8(2) // MIXED: ordinary data pays SET latency
+	switch cfg.pattern {
+	case "uniform":
+		next = func() uint64 { return rng.Uint64n(cfg.lines) }
+	case "hotspot":
+		z := workload.NewZipf(cfg.lines, cfg.zipfS, cfg.seed)
+		next = z.Next
+	case "attack":
+		// The RAA shape: every write lands on one logical line, ALL-1.
+		// One line means one bank and one region — the concentration the
+		// detector watches for.
+		content = 1
+		next = func() uint64 { return 0 }
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", cfg.pattern))
+	}
+
+	var res workerResult
+	ops := make([]memserver.BatchOp, cfg.batch)
+	for time.Now().Before(deadline) {
+		for i := range ops {
+			ops[i] = memserver.BatchOp{Line: next(), Data: content}
+			if cfg.readShare > 0 && rng.Float64() < cfg.readShare {
+				ops[i].Read = true
+				ops[i].Data = 0
+			}
+		}
+		t0 := time.Now()
+		resp, err := client.Batch(ops)
+		lat := time.Since(t0)
+		if be, ok := err.(*memserver.BackpressureError); ok {
+			if be.Resp != nil {
+				res.ops += uint64(be.Resp.Applied)
+				res.rejected += uint64(be.Resp.Rejected)
+			} else {
+				res.rejected += uint64(len(ops))
+			}
+			res.batches++
+			time.Sleep(be.RetryAfter)
+			continue
+		}
+		if err != nil {
+			fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
+		}
+		res.ops += uint64(resp.Applied)
+		res.batches++
+		res.latencies = append(res.latencies, float64(lat.Microseconds()))
+	}
+	return res
+}
+
+// printLatency reports percentiles and a compact bucket histogram of
+// per-batch wall latency.
+func printLatency(lat []float64) {
+	if len(lat) == 0 {
+		fmt.Println("latency: no completed batches")
+		return
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	fmt.Printf("batch latency µs: p50 %.0f p90 %.0f p99 %.0f max %.0f\n",
+		q(0.50), q(0.90), q(0.99), lat[len(lat)-1])
+	h := stats.NewHistogram(0, lat[len(lat)-1]+1, 10)
+	for _, v := range lat {
+		h.Add(v)
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  [%6.0f–%6.0f µs) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, n, bar(n, uint64(len(lat))))
+	}
+}
+
+func bar(n, total uint64) string {
+	const maxBar = 40
+	w := int(float64(n) / float64(total) * maxBar)
+	out := make([]byte, w)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,27 @@
 // Addresses interleave across banks at line granularity, the usual
 // memory-controller layout: bank = addr mod B, line-within-bank =
 // addr div B.
+//
+// # Concurrency contract: single writer per bank
+//
+// A Memory holds no locks. Its shared state — the banks slice and the
+// line count — is immutable after New; everything mutable lives inside
+// one bank's Controller/Scheme/pcm.Bank chain, none of which is safe
+// for concurrent use. The deployment contract is therefore:
+//
+//   - Requests for different banks may run on different goroutines
+//     concurrently, with no synchronization at all. Route, Banks, Lines
+//     and Bank are read-only and always safe.
+//   - All requests for one bank must come from one goroutine at a time
+//     (in practice: a dedicated actor goroutine per bank, as
+//     internal/memserver does), or be externally serialized.
+//   - The whole-memory inspectors (Failed, TotalDemandWrites, MaxWear)
+//     read every bank and must only run while no bank is being driven.
+//
+// TestParallelDistinctBanks pins the first two points under the race
+// detector: hammering all banks from parallel goroutines, one goroutine
+// per bank, is race-free and leaves every other bank's wear-leveling
+// state untouched.
 package membank
 
 import (

@@ -1,0 +1,145 @@
+package memserver
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"securityrbsg/internal/detector"
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/wear"
+)
+
+// op is one routed memory operation, already translated to a bank-local
+// line by the HTTP layer.
+type op struct {
+	local   uint64
+	read    bool
+	content pcm.Content
+}
+
+// opResult carries the simulated latency and, for reads, the content.
+type opResult struct {
+	ns      uint64
+	content pcm.Content
+}
+
+// bankReq is one queue entry: a run of ops for a single bank, executed
+// in order, answered on reply.
+type bankReq struct {
+	ops   []op
+	reply chan<- []opResult
+}
+
+// BankSnapshot is the immutable telemetry record an actor publishes.
+// Everything in it is computed by the bank's own goroutine, so readers
+// never race with the scheme or the PCM model.
+type BankSnapshot struct {
+	Bank  int
+	Stats wear.Stats
+	// SET vs RESET demand-write split (the RTA side channel's two ends).
+	SetWrites, ResetWrites uint64
+	// Detector state (zero when the scheme has no detector).
+	Alarms, BoostedMoves uint64
+	AlarmedRegions       int
+	// Wear distribution percentiles over the bank's physical lines.
+	WearP50, WearP90, WearP99 uint64
+}
+
+// actor is the single writer for one bank: exactly one goroutine runs
+// run(), and only that goroutine touches ctrl, det, or the counters
+// below (the atomics exist so snapshot readers need no lock).
+type actor struct {
+	bank      int
+	ctrl      *wear.Controller
+	det       *detector.AdaptiveRBSG
+	ch        chan bankReq
+	done      chan struct{}
+	snapEvery uint64
+
+	setWrites   uint64 // actor-private running split
+	resetWrites uint64
+	rejected    atomic.Uint64 // written by submitters, not the actor
+	snap        atomic.Pointer[BankSnapshot]
+}
+
+func newActor(bank int, ctrl *wear.Controller, det *detector.AdaptiveRBSG, depth int, snapEvery uint64) *actor {
+	a := &actor{
+		bank: bank, ctrl: ctrl, det: det,
+		ch:        make(chan bankReq, depth),
+		done:      make(chan struct{}),
+		snapEvery: snapEvery,
+	}
+	a.publish()
+	return a
+}
+
+// run is the actor loop: drain the queue until it closes, republishing
+// telemetry every snapEvery ops and once more on exit so post-drain
+// metrics are exact.
+func (a *actor) run() {
+	defer close(a.done)
+	defer a.publish()
+	var sinceSnap uint64
+	for req := range a.ch {
+		res := make([]opResult, len(req.ops))
+		for i, o := range req.ops {
+			if o.read {
+				c, ns := a.ctrl.Read(o.local)
+				res[i] = opResult{ns: ns, content: c}
+			} else {
+				ns := a.ctrl.Write(o.local, o.content)
+				res[i] = opResult{ns: ns}
+				if o.content == pcm.Zeros {
+					a.resetWrites++
+				} else {
+					a.setWrites++
+				}
+			}
+		}
+		req.reply <- res
+		sinceSnap += uint64(len(req.ops))
+		if sinceSnap >= a.snapEvery {
+			a.publish()
+			sinceSnap = 0
+		}
+	}
+}
+
+// publish computes a fresh snapshot and swaps it in.
+func (a *actor) publish() {
+	s := &BankSnapshot{
+		Bank:        a.bank,
+		Stats:       a.ctrl.Stats(),
+		SetWrites:   a.setWrites,
+		ResetWrites: a.resetWrites,
+	}
+	if a.det != nil {
+		s.Alarms = a.det.Alarms()
+		s.BoostedMoves = a.det.BoostedMovements()
+		for r := uint64(0); r < a.det.Config().Regions; r++ {
+			if a.det.Alarmed(r) {
+				s.AlarmedRegions++
+			}
+		}
+	}
+	s.WearP50, s.WearP90, s.WearP99 = wearPercentiles(a.ctrl.Bank().WearCounts())
+	a.snap.Store(s)
+}
+
+// Snapshot returns the latest published telemetry (never nil).
+func (a *actor) Snapshot() *BankSnapshot { return a.snap.Load() }
+
+// wearPercentiles summarizes a wear array without mutating it.
+func wearPercentiles(wear []uint32) (p50, p90, p99 uint64) {
+	if len(wear) == 0 {
+		return 0, 0, 0
+	}
+	sorted := make([]uint32, len(wear))
+	copy(sorted, wear)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) uint64 {
+		i := int(q * float64(len(sorted)-1))
+		return uint64(sorted[i])
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

@@ -1,0 +1,71 @@
+package memserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"securityrbsg/internal/stats"
+)
+
+// BenchmarkMemserverBatchWrite measures the service hot path — JSON
+// decode, per-bank coalescing, actor round trip, JSON encode — with no
+// sockets: requests go straight into the handler. This is the number
+// every future transport or queueing change gets compared against
+// (bench-smoke in CI executes it once on every push).
+func BenchmarkMemserverBatchWrite(b *testing.B) {
+	const batch = 256
+	s := MustNew(Config{
+		Banks: 8, Lines: 8 << 14, Scheme: SchemeRBSGDetector,
+		Regions: 32, Interval: 100, Seed: 1, QueueDepth: 256,
+	})
+	s.Start()
+	handler := s.Handler()
+
+	rng := stats.NewRNG(3)
+	ops := make([]BatchOp, batch)
+	for i := range ops {
+		ops[i] = BatchOp{Line: rng.Uint64n(s.Config().Lines), Data: 2}
+	}
+	body, err := json.Marshal(BatchRequest{Ops: ops})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkMemserverSingleWrite is the uncoalesced per-request cost:
+// one line per HTTP round trip through the handler.
+func BenchmarkMemserverSingleWrite(b *testing.B) {
+	s := MustNew(Config{
+		Banks: 8, Lines: 8 << 14, Scheme: SchemeRBSGDetector,
+		Regions: 32, Interval: 100, Seed: 1, QueueDepth: 256,
+	})
+	s.Start()
+	handler := s.Handler()
+	body, _ := json.Marshal(WriteRequest{Line: 12345, Data: 2})
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/write", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

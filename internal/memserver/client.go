@@ -1,0 +1,156 @@
+package memserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"securityrbsg/internal/pcm"
+)
+
+// Client speaks the memctld wire API. Its Write and Read methods match
+// attack.Target — logical address in, simulated latency out — so every
+// attacker in internal/attack can run unmodified against a live server,
+// which is exactly what the wire-level regression test does.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8100".
+	BaseURL string
+	// HTTP is the transport; nil means a default client.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: base, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// BackpressureError reports a 429 and how long the server asked us to
+// back off.
+type BackpressureError struct {
+	RetryAfter time.Duration
+	// Resp holds the partial batch accounting when the 429 answered a
+	// batch (nil for single ops).
+	Resp *BatchResponse
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("server backpressure, retry after %v", e.RetryAfter)
+}
+
+// post sends a JSON body and decodes a JSON reply into out.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		be := &BackpressureError{RetryAfter: time.Second}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			be.RetryAfter = time.Duration(secs) * time.Second
+		}
+		if br, ok := out.(*BatchResponse); ok && json.NewDecoder(resp.Body).Decode(br) == nil {
+			be.Resp = br
+		}
+		return be
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryPost is post with bounded backpressure retries — single demand
+// ops must not be silently dropped (an attacker's write stream, like a
+// CPU's, just stalls until the controller accepts it).
+func (c *Client) retryPost(path string, in, out any) error {
+	for {
+		err := c.post(path, in, out)
+		be, ok := err.(*BackpressureError)
+		if !ok {
+			return err
+		}
+		time.Sleep(be.RetryAfter)
+	}
+}
+
+// Write issues one demand write and returns the simulated latency in
+// nanoseconds. It panics on transport errors: it exists to satisfy
+// attack.Target for tests and demos, where a broken server is fatal.
+func (c *Client) Write(la uint64, content pcm.Content) uint64 {
+	var resp WriteResponse
+	if err := c.retryPost("/v1/write", WriteRequest{Line: la, Data: uint8(content)}, &resp); err != nil {
+		panic(fmt.Errorf("memserver client: write LA %d: %w", la, err))
+	}
+	return resp.Ns
+}
+
+// Read issues one demand read; same contract as Write.
+func (c *Client) Read(la uint64) (pcm.Content, uint64) {
+	var resp ReadResponse
+	if err := c.retryPost("/v1/read", ReadRequest{Line: la}, &resp); err != nil {
+		panic(fmt.Errorf("memserver client: read LA %d: %w", la, err))
+	}
+	return pcm.Content(resp.Data), resp.Ns
+}
+
+// Batch submits ops to /v1/batch. On backpressure it returns a
+// *BackpressureError carrying the partial accounting.
+func (c *Client) Batch(ops []BatchOp) (*BatchResponse, error) {
+	var resp BatchResponse
+	if err := c.post("/v1/batch", BatchRequest{Ops: ops}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz returns nil while the server accepts traffic.
+func (c *Client) Healthz() error {
+	resp, err := c.httpClient().Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// Metrics scrapes /metrics and returns per-name totals summed over
+// banks (see ParseMetrics).
+func (c *Client) Metrics() (map[string]float64, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: %s", resp.Status)
+	}
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMetrics(string(text)), nil
+}

@@ -1,0 +1,252 @@
+package memserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"securityrbsg/internal/pcm"
+)
+
+// The wire API. Content classes travel as the pcm.Content integers:
+// 0 = ALL-0 (RESET write), 1 = ALL-1 (SET write), 2 = MIXED. Responses
+// carry simulated device latency in nanoseconds — the value the paper's
+// attacker observes — so the timing side channel crosses the wire
+// intact (internal/memserver's attack regression test depends on it).
+
+// WriteRequest is the body of POST /v1/write.
+type WriteRequest struct {
+	Line uint64 `json:"l"`
+	Data uint8  `json:"d"`
+}
+
+// WriteResponse answers a single write.
+type WriteResponse struct {
+	Ns uint64 `json:"ns"`
+}
+
+// ReadRequest is the body of POST /v1/read.
+type ReadRequest struct {
+	Line uint64 `json:"l"`
+}
+
+// ReadResponse answers a single read.
+type ReadResponse struct {
+	Ns   uint64 `json:"ns"`
+	Data uint8  `json:"d"`
+}
+
+// BatchOp is one operation inside POST /v1/batch. The zero op is a
+// write of ALL-0; set R for a read, D for the content class.
+type BatchOp struct {
+	Line uint64 `json:"l"`
+	Read bool   `json:"r,omitempty"`
+	Data uint8  `json:"d,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch. Ops are coalesced into
+// one queue entry per touched bank; op order is preserved within each
+// bank but banks execute concurrently, so ops to different banks may
+// interleave with other requests. A batch is not atomic under
+// backpressure: banks whose queues are full reject their share while
+// the rest applies (the response says how much of each happened).
+type BatchRequest struct {
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchResponse answers a batch. Ns and Data align with Ops; rejected
+// ops report zero latency. NsMax is the slowest op — the latency a
+// stalled demand request would have observed behind remapping.
+type BatchResponse struct {
+	Applied  int      `json:"applied"`
+	Rejected int      `json:"rejected"`
+	NsSum    uint64   `json:"ns_sum"`
+	NsMax    uint64   `json:"ns_max"`
+	Ns       []uint64 `json:"ns"`
+	Data     []uint8  `json:"d"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// retryAfter is the Retry-After header value (seconds) sent with 429.
+const retryAfter = "1"
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/write", s.handleWrite)
+	mux.HandleFunc("POST /v1/read", s.handleRead)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// submitErr maps a submit failure to its HTTP status.
+func (s *Server) submitErr(w http.ResponseWriter, err error) {
+	switch err {
+	case errBusy:
+		w.Header().Set("Retry-After", retryAfter)
+		writeErr(w, http.StatusTooManyRequests, "bank queue full, retry later")
+	case errDraining:
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+	default:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) checkOp(w http.ResponseWriter, line uint64, data uint8) bool {
+	if line >= s.cfg.Lines {
+		writeErr(w, http.StatusBadRequest, "line %d out of space of %d lines", line, s.cfg.Lines)
+		return false
+	}
+	if data > 2 {
+		writeErr(w, http.StatusBadRequest, "content class %d not in {0,1,2}", data)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	var req WriteRequest
+	if !s.decode(w, r, &req) || !s.checkOp(w, req.Line, req.Data) {
+		return
+	}
+	bank, local := s.mem.Route(req.Line)
+	res, err := s.submit(bank, []op{{local: local, content: pcm.Content(req.Data)}})
+	if err != nil {
+		s.submitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, WriteResponse{Ns: res[0].ns})
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	var req ReadRequest
+	if !s.decode(w, r, &req) || !s.checkOp(w, req.Line, 0) {
+		return
+	}
+	bank, local := s.mem.Route(req.Line)
+	res, err := s.submit(bank, []op{{local: local, read: true}})
+	if err != nil {
+		s.submitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadResponse{Ns: res[0].ns, Data: uint8(res[0].content)})
+}
+
+// handleBatch coalesces the request per bank, enqueues every touched
+// bank without blocking, then collects. Banks run concurrently; a full
+// queue rejects only that bank's share (reported via 429 + counts).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for _, o := range req.Ops {
+		if !s.checkOp(w, o.Line, o.Data) {
+			return
+		}
+	}
+
+	// Coalesce: one op run per touched bank, preserving request order.
+	perBank := make(map[int]*bankRun, s.cfg.Banks)
+	order := make([]*bankRun, 0, s.cfg.Banks)
+	for i, o := range req.Ops {
+		bank, local := s.mem.Route(o.Line)
+		run := perBank[bank]
+		if run == nil {
+			run = &bankRun{bank: bank}
+			perBank[bank] = run
+			order = append(order, run)
+		}
+		run.ops = append(run.ops, op{local: local, read: o.Read, content: pcm.Content(o.Data)})
+		run.idx = append(run.idx, i)
+	}
+
+	// Phase 1: enqueue everything (non-blocking), phase 2: collect.
+	resp := BatchResponse{
+		Ns:   make([]uint64, len(req.Ops)),
+		Data: make([]uint8, len(req.Ops)),
+	}
+	draining := false
+	for _, run := range order {
+		reply, err := s.enqueue(run.bank, run.ops)
+		switch err {
+		case nil:
+			run.reply = reply
+		case errDraining:
+			draining = true
+			resp.Rejected += len(run.ops)
+		default:
+			resp.Rejected += len(run.ops)
+		}
+	}
+	for _, run := range order {
+		if run.reply == nil {
+			continue
+		}
+		results := <-run.reply
+		for j, res := range results {
+			i := run.idx[j]
+			resp.Ns[i] = res.ns
+			resp.Data[i] = uint8(res.content)
+			resp.NsSum += res.ns
+			if res.ns > resp.NsMax {
+				resp.NsMax = res.ns
+			}
+		}
+		resp.Applied += len(results)
+	}
+
+	switch {
+	case resp.Applied == 0 && draining:
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+	case resp.Rejected > 0:
+		w.Header().Set("Retry-After", retryAfter)
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// bankRun is one bank's slice of a batch plus where its results land.
+type bankRun struct {
+	bank  int
+	ops   []op
+	idx   []int
+	reply <-chan []opResult
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -18,6 +18,12 @@
 // The bank knows nothing about wear leveling: it is addressed purely by
 // physical line number. Address translation lives in the scheme packages
 // and in internal/wear.
+//
+// A Bank is not safe for concurrent use: every operation mutates wear
+// counters and the device clock without locks. Distinct Bank instances
+// share no state, so they may be driven from different goroutines —
+// the single-writer-per-bank contract spelled out in internal/membank
+// and enforced at runtime by internal/memserver's bank actors.
 package pcm
 
 import (
