@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt fmt-check vet test race bench-smoke serve serve-smoke loadgen ci
+.PHONY: build fmt fmt-check vet lint test race bench-smoke serve serve-smoke loadgen ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,19 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# rbsglint enforces the repo's determinism, bank-isolation and
+# panic-policy contracts (see DESIGN.md "Mechanized invariants").
+# staticcheck and govulncheck run when installed (CI installs them);
+# offline dev boxes without them still get the custom suite.
+lint:
+	$(GO) run ./cmd/rbsglint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "lint: govulncheck not installed; skipping"; fi
 
 test: build vet
 	$(GO) test ./...
@@ -43,4 +56,4 @@ loadgen:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: fmt-check test race bench-smoke serve-smoke
+ci: fmt-check test lint race bench-smoke serve-smoke

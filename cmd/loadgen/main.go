@@ -61,6 +61,7 @@ func main() {
 
 	var wg sync.WaitGroup
 	results := make([]workerResult, *workers)
+	//rbsglint:allow simdeterminism -- loadgen measures real wall-clock throughput of a live server; that is the product, not simulation state
 	start := time.Now()
 	deadline := start.Add(*duration)
 	for w := 0; w < *workers; w++ {
@@ -75,6 +76,7 @@ func main() {
 		}(w)
 	}
 	wg.Wait()
+	//rbsglint:allow simdeterminism -- elapsed wall time is the denominator of the measured ops/s
 	elapsed := time.Since(start)
 
 	var total workerResult
@@ -149,6 +151,7 @@ func runWorker(addr string, cfg workerConfig, deadline time.Time) workerResult {
 
 	var res workerResult
 	ops := make([]memserver.BatchOp, cfg.batch)
+	//rbsglint:allow simdeterminism -- closed-loop deadline check against real time; the benchmark runs for a wall-clock duration
 	for time.Now().Before(deadline) {
 		for i := range ops {
 			ops[i] = memserver.BatchOp{Line: next(), Data: content}
@@ -157,8 +160,10 @@ func runWorker(addr string, cfg workerConfig, deadline time.Time) workerResult {
 				ops[i].Data = 0
 			}
 		}
+		//rbsglint:allow simdeterminism -- batch wall latency is the measured quantity (p50/p90/p99 report)
 		t0 := time.Now()
 		resp, err := client.Batch(ops)
+		//rbsglint:allow simdeterminism -- batch wall latency is the measured quantity (p50/p90/p99 report)
 		lat := time.Since(t0)
 		if be, ok := err.(*memserver.BackpressureError); ok {
 			if be.Resp != nil {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDriver compiles the rbsglint binary once into a temp dir.
+func buildDriver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rbsglint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building driver: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// scratchModule writes a throwaway module containing one package with a
+// seeded simdeterminism violation and one clean package.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"dirty/dirty.go": `package dirty
+
+import "time"
+
+// Stamp leaks the wall clock into a result.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"clean/clean.go": `package clean
+
+// Add is free of environmental reads.
+func Add(a, b int) int { return a + b }
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSeededViolation proves the driver's exit-code contract end to
+// end: a seeded wall-clock read fails the run (exit 2) in both
+// standalone and `go vet -vettool` modes, and the clean package passes.
+func TestSeededViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess go builds; skipped in -short")
+	}
+	bin := buildDriver(t)
+	mod := scratchModule(t)
+
+	run := func(args ...string) (string, int) {
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running %v: %v\n%s", args, err, out)
+		}
+		return string(out), code
+	}
+
+	out, code := run(bin, "./...")
+	if code != 2 {
+		t.Fatalf("standalone on dirty module: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "wall-clock read time.Now") {
+		t.Errorf("standalone output missing diagnostic:\n%s", out)
+	}
+
+	out, code = run(bin, "./clean")
+	if code != 0 {
+		t.Fatalf("standalone on clean package: exit %d, want 0\n%s", code, out)
+	}
+
+	out, code = run("go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool on dirty module: exit 0, want nonzero\n%s", out)
+	}
+	if !strings.Contains(out, "wall-clock read time.Now") {
+		t.Errorf("vettool output missing diagnostic:\n%s", out)
+	}
+
+	out, code = run("go", "vet", "-vettool="+bin, "./clean")
+	if code != 0 {
+		t.Fatalf("go vet -vettool on clean package: exit %d, want 0\n%s", code, out)
+	}
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allow directive grammar is
+//
+//	//rbsglint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The reason is not decoration: a directive without
+// one is reported as a violation and suppresses nothing, so every
+// suppression in the tree carries a written justification at the call
+// site.
+const directivePrefix = "rbsglint:allow"
+
+// directiveSet indexes valid directives by (file, line, analyzer).
+type directiveSet map[directiveKey]bool
+
+type directiveKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppresses reports whether a valid directive for analyzer name covers
+// a diagnostic at pos (directive on the same line or the line above).
+func (s directiveSet) suppresses(name string, pos token.Position) bool {
+	return s[directiveKey{pos.Filename, pos.Line, name}] ||
+		s[directiveKey{pos.Filename, pos.Line - 1, name}]
+}
+
+// parseDirectives extracts every rbsglint:allow directive from the
+// files. Well-formed ones land in the returned set; malformed ones
+// (missing analyzer list or missing " -- reason") become framework
+// diagnostics that cannot themselves be suppressed.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveSet, []Diagnostic) {
+	set := directiveSet{}
+	var malformed []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		malformed = append(malformed, Diagnostic{
+			Analyzer: "rbsglint",
+			Pos:      fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				names, reason, found := strings.Cut(text, " -- ")
+				if !found || strings.TrimSpace(reason) == "" {
+					report(c.Pos(), "malformed "+directivePrefix+" directive: a reason is required (\"//"+directivePrefix+" <analyzer> -- <reason>\")")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				any := false
+				for _, n := range strings.Split(names, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					any = true
+					set[directiveKey{pos.Filename, pos.Line, n}] = true
+				}
+				if !any {
+					report(c.Pos(), "malformed "+directivePrefix+" directive: no analyzer named")
+				}
+			}
+		}
+	}
+	return set, malformed
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (directiveSet, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture source: %v", err)
+	}
+	return parseDirectives(fset, []*ast.File{f})
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	set, malformed := parseSrc(t, `package p
+
+func a() {
+	//rbsglint:allow simdeterminism -- measured throughput needs the wall clock
+	_ = 1
+}
+
+func b() {
+	_ = 2 //rbsglint:allow simdeterminism,panicpolicy -- two contracts waived at once
+}
+`)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+
+	// The directive in a() sits on line 4; it must cover a diagnostic on
+	// its own line and on the line below, and nothing else.
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !set.suppresses("simdeterminism", at(4)) || !set.suppresses("simdeterminism", at(5)) {
+		t.Error("directive above the statement does not cover it")
+	}
+	if set.suppresses("simdeterminism", at(6)) {
+		t.Error("directive leaks past the line below it")
+	}
+	if set.suppresses("panicpolicy", at(5)) {
+		t.Error("directive suppresses an analyzer it does not name")
+	}
+
+	// The end-of-line directive in b() (line 9) names two analyzers.
+	for _, name := range []string{"simdeterminism", "panicpolicy"} {
+		if !set.suppresses(name, at(9)) {
+			t.Errorf("comma list does not cover %s", name)
+		}
+	}
+	if set.suppresses("bankisolation", at(9)) {
+		t.Error("comma list covers an unnamed analyzer")
+	}
+}
+
+func TestDirectiveRequiresReason(t *testing.T) {
+	set, malformed := parseSrc(t, `package p
+
+func a() {
+	//rbsglint:allow simdeterminism
+	_ = 1
+}
+`)
+	if set.suppresses("simdeterminism", token.Position{Filename: "p.go", Line: 5}) {
+		t.Error("reasonless directive still suppresses")
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "a reason is required") {
+		t.Fatalf("want one 'reason is required' diagnostic, got %v", malformed)
+	}
+	if malformed[0].Analyzer != "rbsglint" {
+		t.Errorf("malformed-directive diagnostic attributed to %q, want rbsglint", malformed[0].Analyzer)
+	}
+}
+
+func TestDirectiveRequiresAnalyzer(t *testing.T) {
+	_, malformed := parseSrc(t, `package p
+
+func a() {
+	//rbsglint:allow -- a reason with nobody named
+	_ = 1
+}
+`)
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "no analyzer named") {
+		t.Fatalf("want one 'no analyzer named' diagnostic, got %v", malformed)
+	}
+}

@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over golden fixture packages
+// and checks its diagnostics against // want annotations, mirroring
+// the x/tools package of the same name (which the module deliberately
+// does not depend on).
+//
+// Fixtures live GOPATH-style under testdata/src/<import path>/ next to
+// the analyzer's test. Every line that should be flagged carries a
+// comment of the form
+//
+//	expr // want `regexp` `another regexp`
+//
+// with one backquoted (or double-quoted) regexp per expected
+// diagnostic on that line. The harness runs the full framework
+// pipeline — including //rbsglint:allow suppression — so fixtures can
+// also prove that a directive with a reason silences a finding and
+// that one without a reason does not.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysis"
+)
+
+// wantRe matches the trailing want clause of a fixture line.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// quotedRe matches one backquoted or double-quoted expectation.
+var quotedRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture packages at the given import paths from
+// testdata/src, applies the analyzer through the framework (directive
+// suppression included), and fails the test on any mismatch between
+// diagnostics and // want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadFixtures(srcRoot, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Group surviving diagnostics by file:line.
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]analysis.Diagnostic{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	// Walk every fixture file of the analyzed packages and pair wants
+	// with diagnostics.
+	for _, pkg := range pkgs {
+		entries, err := os.ReadDir(pkg.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(pkg.Dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				k := key{path, i + 1}
+				wants := parseWants(t, path, i+1, line)
+				remaining := got[k]
+				delete(got, k)
+				for _, w := range wants {
+					idx := -1
+					for j, d := range remaining {
+						if w.MatchString(d.Message) {
+							idx = j
+							break
+						}
+					}
+					if idx < 0 {
+						t.Errorf("%s:%d: no diagnostic matching %q (have %s)", path, i+1, w, messages(remaining))
+						continue
+					}
+					remaining = append(remaining[:idx], remaining[idx+1:]...)
+				}
+				for _, d := range remaining {
+					t.Errorf("%s:%d: unexpected diagnostic: %s: %s", path, i+1, d.Analyzer, d.Message)
+				}
+			}
+		}
+	}
+	// Diagnostics in files we never walked (shouldn't happen).
+	for k, ds := range got {
+		t.Errorf("%s:%d: diagnostics outside fixture files: %s", k.file, k.line, messages(ds))
+	}
+}
+
+// parseWants extracts the expected-diagnostic regexps from one line.
+func parseWants(t *testing.T, file string, lineno int, line string) []*regexp.Regexp {
+	t.Helper()
+	m := wantRe.FindStringSubmatch(line)
+	if m == nil {
+		return nil
+	}
+	var wants []*regexp.Regexp
+	for _, q := range quotedRe.FindAllString(m[1], -1) {
+		var pat string
+		if strings.HasPrefix(q, "`") {
+			pat = strings.Trim(q, "`")
+		} else {
+			var err error
+			pat, err = strconv.Unquote(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want expectation %s: %v", file, lineno, q, err)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", file, lineno, pat, err)
+		}
+		wants = append(wants, re)
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s:%d: // want clause with no expectations", file, lineno)
+	}
+	return wants
+}
+
+func messages(ds []analysis.Diagnostic) string {
+	if len(ds) == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, d := range ds {
+		parts = append(parts, fmt.Sprintf("%q", d.Message))
+	}
+	return strings.Join(parts, ", ")
+}

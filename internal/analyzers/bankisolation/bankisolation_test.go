@@ -1,0 +1,15 @@
+package bankisolation_test
+
+import (
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysistest"
+	"securityrbsg/internal/analyzers/bankisolation"
+)
+
+func TestBankIsolation(t *testing.T) {
+	analysistest.Run(t, bankisolation.Analyzer,
+		"securityrbsg/internal/lab",
+		"securityrbsg/internal/memserver",
+	)
+}

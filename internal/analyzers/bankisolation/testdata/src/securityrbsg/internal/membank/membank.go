@@ -1,0 +1,13 @@
+// Package membank is a fixture stub of the real interleaved-memory
+// package: a named struct type from a restricted simulation-state
+// package, plus the methods the consumer fixtures call.
+package membank
+
+// Bank is single-writer simulation state.
+type Bank struct{ writes uint64 }
+
+// New returns a fresh bank.
+func New(lines uint64) *Bank { return &Bank{} }
+
+// Write books one write.
+func (b *Bank) Write(la uint64) { b.writes++ }

@@ -1,0 +1,13 @@
+// Package memserver is a fixture stub of the sanctioned actor layer:
+// the same captures that are violations elsewhere are legal here.
+package memserver
+
+import "securityrbsg/internal/membank"
+
+// Actors multiplexes goroutines over bank state — the blessed pattern.
+func Actors() {
+	bank := membank.New(8)
+	go func() {
+		bank.Write(0) // exempt package: no diagnostic
+	}()
+}

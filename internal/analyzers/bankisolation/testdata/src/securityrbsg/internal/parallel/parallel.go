@@ -1,0 +1,10 @@
+// Package parallel is a fixture stub of the goroutine-spawning helper
+// package: closures handed to it run on many goroutines at once.
+package parallel
+
+// ForEach runs fn(i) for i in [0,n) on worker goroutines.
+func ForEach(n, workers int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

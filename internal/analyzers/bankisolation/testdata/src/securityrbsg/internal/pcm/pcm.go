@@ -1,0 +1,7 @@
+// Package pcm is a fixture stub: Content is a named *basic* type from
+// a restricted package — sharing a copy of it across goroutines is
+// harmless and must not be flagged.
+package pcm
+
+// Content is a content class (a plain number).
+type Content uint8

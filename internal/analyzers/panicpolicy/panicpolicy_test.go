@@ -1,0 +1,15 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysistest"
+	"securityrbsg/internal/analyzers/panicpolicy"
+)
+
+func TestPanicPolicy(t *testing.T) {
+	analysistest.Run(t, panicpolicy.Analyzer,
+		"securityrbsg/internal/plib",
+		"securityrbsg/cmd/tool",
+	)
+}

@@ -1,0 +1,13 @@
+// Command tool shows the pass is scoped to library packages: binaries
+// own their process and may crash on startup errors.
+package main
+
+import "errors"
+
+func main() {
+	if err := run(); err != nil {
+		panic(err) // outside internal/: no diagnostic
+	}
+}
+
+func run() error { return errors.New("boom") }

@@ -1,0 +1,69 @@
+// Package plib exercises the panicpolicy rules from a library package
+// under internal/.
+package plib
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a package-level sentinel; panics mentioning it state an
+// invariant rather than propagate data.
+var ErrBad = errors.New("plib: bad address")
+
+// New fails on invalid input.
+func New(n int) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("plib: n must be positive")
+	}
+	return n, nil
+}
+
+func Build(n int) int {
+	v, err := New(n)
+	if err != nil {
+		panic(err) // want `panic propagates the data-dependent error "err"`
+	}
+	return v
+}
+
+func Wrapped(n int) int {
+	v, err := New(n)
+	if err != nil {
+		panic(fmt.Errorf("plib: build %d: %w", n, err)) // want `panic propagates the data-dependent error "err"`
+	}
+	return v
+}
+
+// MustBuild is the sanctioned panic-on-error wrapper shape.
+func MustBuild(n int) int {
+	v, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func invariant(n int) {
+	if n < 0 {
+		panic("plib: n must be non-negative") // states a precondition: legal
+	}
+}
+
+func formatted(la, lines uint64) {
+	if la >= lines {
+		panic(fmt.Errorf("plib: LA %d out of space of %d lines", la, lines)) // no error value: legal
+	}
+}
+
+func sentinel(pa uint64) {
+	panic(fmt.Errorf("%w: %d", ErrBad, pa)) // package-level sentinel: legal
+}
+
+func annotated(n int) int {
+	v, err := New(n)
+	if err != nil {
+		panic(err) //rbsglint:allow panicpolicy -- fixture: unreachable, n validated by the caller
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+// Package simdeterminism enforces the repo's reproducibility contract:
+// a simulation result is a pure function of its configuration and seed.
+//
+// The runner's sharding guarantee (workers=8 bit-identical to
+// workers=1) and every regression baseline in results/ depend on no
+// simulation code observing the environment. This pass therefore
+// forbids, anywhere in the module:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — simulated
+//     time comes from the PCM device clock, never the host's;
+//   - math/rand global state (rand.Intn, rand.Seed, rand.Shuffle, ...)
+//     — it is seeded per process and shared across goroutines, so the
+//     draw order depends on scheduling;
+//   - any other math/rand use (rand.New, rand.NewZipf, ...) unless the
+//     source is the deterministic stats.RNG adapter and the call site
+//     says so with an allow directive;
+//   - crypto/rand — key material must derive from the run seed through
+//     stats.RNG so a cell can be replayed.
+//
+// Legitimate wall-clock reads exist (progress telemetry, load
+// generators measure real latency); they are annotated in place:
+//
+//	//rbsglint:allow simdeterminism -- wall-clock is the measurement, not sim state
+//
+// Type references (e.g. a *rand.Zipf struct field) are not flagged;
+// only executable uses are.
+package simdeterminism
+
+import (
+	"go/types"
+
+	"securityrbsg/internal/analyzers/analysis"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock reads and ambient randomness in simulation code",
+	Run:  run,
+}
+
+// wallClock lists the time package's wall-clock reads. Constructs like
+// time.NewTicker or time.Sleep pace real execution but never feed a
+// value back into simulation state, so they stay legal.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalRand lists math/rand package-level functions and variables
+// backed by the shared global source.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		if _, isType := obj.(*types.TypeName); isType {
+			continue // rand.Zipf in a field or var declaration is fine
+		}
+		if _, isPkgName := obj.(*types.PkgName); isPkgName {
+			continue // the import reference itself; uses are flagged below
+		}
+		if fn, isFunc := obj.(*types.Func); isFunc {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods (e.g. (*rand.Zipf).Uint64) draw from whatever
+				// source the value was built on; the construction site is
+				// where determinism is decided and flagged.
+				continue
+			}
+		}
+		switch pkg.Path() {
+		case "time":
+			if wallClock[obj.Name()] {
+				pass.Reportf(id.Pos(), "wall-clock read time.%s: simulation state must be a pure function of config and seed (use the device clock, or annotate runtime telemetry with //rbsglint:allow)", obj.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if globalRand[obj.Name()] {
+				pass.Reportf(id.Pos(), "math/rand global state (rand.%s) is process-seeded and shared across goroutines: draw from the per-cell stats.RNG instead", obj.Name())
+			} else {
+				pass.Reportf(id.Pos(), "math/rand use (rand.%s) in simulation code: route randomness through the deterministic stats.RNG adapter and annotate the call site with //rbsglint:allow", obj.Name())
+			}
+		case "crypto/rand":
+			pass.Reportf(id.Pos(), "crypto/rand (%s) is nondeterministic: remap keys must derive from the run seed via stats.RNG so cells replay bit-identically", obj.Name())
+		}
+	}
+	return nil
+}

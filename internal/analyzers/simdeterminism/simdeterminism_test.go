@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysistest"
+	"securityrbsg/internal/analyzers/simdeterminism"
+)
+
+func TestSimdeterminism(t *testing.T) {
+	analysistest.Run(t, simdeterminism.Analyzer, "sim")
+}

@@ -1,0 +1,50 @@
+// Package sim exercises every simdeterminism rule: wall-clock reads,
+// math/rand global state, routed math/rand use, crypto/rand, and the
+// allow-directive behavior with and without a reason.
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()          // want `wall-clock read time\.Now`
+	t0 := time.Unix(0, 0)   // constructing a time from data is fine
+	_ = time.Since(t0)      // want `wall-clock read time\.Since`
+	_ = time.Until(t0)      // want `wall-clock read time\.Until`
+	_ = t0.Add(time.Second) // methods and constants are fine
+}
+
+func globals() {
+	_ = rand.Intn(8)                   // want `math/rand global state \(rand\.Intn\)`
+	rand.Seed(1)                       // want `math/rand global state \(rand\.Seed\)`
+	rand.Shuffle(2, func(i, j int) {}) // want `math/rand global state \(rand\.Shuffle\)`
+}
+
+func routed() {
+	r := rand.New(rand.NewSource(1)) // want `math/rand use \(rand\.New\)` `math/rand use \(rand\.NewSource\)`
+	_ = r.Intn(4)                    // methods on an explicit-source Rand are not re-flagged
+}
+
+// shaper only names a math/rand type; type references are not flagged.
+type shaper struct {
+	z *rand.Zipf
+}
+
+func keys() {
+	b := make([]byte, 8)
+	crand.Read(b) // want `crypto/rand \(Read\) is nondeterministic`
+}
+
+func allowed() {
+	//rbsglint:allow simdeterminism -- fixture: sanctioned adapter construction, seeded from the cell seed
+	r := rand.New(rand.NewSource(1))
+	_ = r
+}
+
+func missingReason() {
+	//rbsglint:allow simdeterminism // want `a reason is required`
+	_ = time.Now() // want `wall-clock read time\.Now`
+}

@@ -210,22 +210,12 @@ func MustNew(cfg Config) *Scheme {
 // newPerm draws a fresh DFN permutation over the logical space. Odd
 // address widths run a one-bit-wider network under cycle walking.
 func (s *Scheme) newPerm() feistel.Permutation {
+	// Cannot fail: width and stage count are validated at construction,
+	// and Lines ≤ 2^(bits+1) by the width derivation.
 	if s.bits%2 == 0 {
-		n, err := feistel.Random(s.bits, s.cfg.Stages, s.rng)
-		if err != nil {
-			panic(err) // unreachable: width validated at construction
-		}
-		return n
+		return feistel.MustRandom(s.bits, s.cfg.Stages, s.rng)
 	}
-	n, err := feistel.Random(s.bits+1, s.cfg.Stages, s.rng)
-	if err != nil {
-		panic(err)
-	}
-	w, err := feistel.NewWalker(n, s.cfg.Lines)
-	if err != nil {
-		panic(err)
-	}
-	return w
+	return feistel.MustNewWalker(feistel.MustRandom(s.bits+1, s.cfg.Stages, s.rng), s.cfg.Lines)
 }
 
 // Name identifies the scheme.

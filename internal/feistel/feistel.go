@@ -154,6 +154,17 @@ func NewWalker(inner Permutation, n uint64) (*Walker, error) {
 	return &Walker{inner: inner, n: n}, nil
 }
 
+// MustNewWalker is NewWalker that panics on error; for call sites whose
+// domain is already validated (e.g. schemes that checked Lines against
+// the randomizer width at construction).
+func MustNewWalker(inner Permutation, n uint64) *Walker {
+	w, err := NewWalker(inner, n)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // Encrypt permutes x within [0, n).
 func (w *Walker) Encrypt(x uint64) uint64 {
 	y := w.inner.Encrypt(x)

@@ -25,6 +25,44 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+func TestWalkerValidation(t *testing.T) {
+	inner := MustRandom(8, 3, stats.NewRNG(1)) // domain 256
+	if _, err := NewWalker(inner, 0); err == nil {
+		t.Error("zero walker domain must fail")
+	}
+	if _, err := NewWalker(inner, 257); err == nil {
+		t.Error("walker domain above inner domain must fail")
+	}
+	w, err := NewWalker(inner, 256)
+	if err != nil {
+		t.Fatalf("walker domain equal to inner domain must be legal: %v", err)
+	}
+	if got := w.Domain(); got != 256 {
+		t.Errorf("Domain() = %d, want 256", got)
+	}
+}
+
+// mustPanic runs f and reports an error unless it panics.
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic on invalid input", name)
+		}
+	}()
+	f()
+}
+
+// The Must* wrappers exist for call sites with already-validated
+// arguments; on invalid input they must surface the constructor error
+// as a panic rather than return a broken value.
+func TestMustConstructorsPanic(t *testing.T) {
+	mustPanic(t, "MustRandom", func() { MustRandom(3, 3, stats.NewRNG(1)) })
+	mustPanic(t, "MustNewWalker", func() {
+		MustNewWalker(MustRandom(8, 3, stats.NewRNG(1)), 1000)
+	})
+}
+
 // TestEncryptDecryptInverse is the core property: Decrypt ∘ Encrypt = id
 // for every width, stage count and key material.
 func TestEncryptDecryptInverse(t *testing.T) {

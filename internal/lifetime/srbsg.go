@@ -113,11 +113,8 @@ func (s *arcSim) newPerm() feistel.Permutation {
 		return feistel.MustRandom(s.bits, s.p.Stages, s.rng)
 	}
 	inner := feistel.MustRandom(s.bits+1, s.p.Stages, s.rng)
-	w, err := feistel.NewWalker(inner, s.d.Lines)
-	if err != nil {
-		panic(err)
-	}
-	return w
+	// Cannot fail: Lines ≤ 2^(bits+1) by the width derivation above.
+	return feistel.MustNewWalker(inner, s.d.Lines)
 }
 
 // deposit places `visits` consecutive slot-visits for intermediate

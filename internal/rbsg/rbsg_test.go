@@ -25,6 +25,17 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+// MustNew must surface the validation error as a panic, not hand back a
+// half-built scheme.
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on an invalid config")
+		}
+	}()
+	MustNew(Config{Lines: 100, Regions: 4, Interval: 1})
+}
+
 func TestDefaults(t *testing.T) {
 	s := MustNew(cfg())
 	if s.Config().Stages != 3 {

@@ -198,6 +198,7 @@ func Run(ctx context.Context, g Grid, opts Options) (*Report, error) {
 	results := make([]CellResult, len(g.Cells))
 	track := newTracker(g.Name, len(g.Cells), opts.Progress, opts.TickEvery)
 	track.start()
+	//rbsglint:allow simdeterminism -- WallSeconds is runtime telemetry in the report; cell results never read it
 	begin := time.Now()
 
 	errs := parallel.ForEachErr(len(g.Cells), workers, func(i int) error {
@@ -221,8 +222,10 @@ func Run(ctx context.Context, g Grid, opts Options) (*Report, error) {
 			return nil
 		}
 
+		//rbsglint:allow simdeterminism -- per-cell wall time is runtime telemetry; the cell metrics are computed before it is read
 		cellBegin := time.Now()
 		m, err := runCell(ctx, opts.CellTimeout, g.Run, cell, seed)
+		//rbsglint:allow simdeterminism -- per-cell wall time is runtime telemetry; the cell metrics are computed before it is read
 		res.WallSeconds = time.Since(cellBegin).Seconds()
 		res.Metrics = m
 		var saveErr error
@@ -253,9 +256,10 @@ func Run(ctx context.Context, g Grid, opts Options) (*Report, error) {
 	})
 
 	rep := &Report{
-		Grid:        g.Name,
-		Workers:     workers,
-		Total:       len(g.Cells),
+		Grid:    g.Name,
+		Workers: workers,
+		Total:   len(g.Cells),
+		//rbsglint:allow simdeterminism -- report wall time is runtime telemetry, not simulation state
 		WallSeconds: time.Since(begin).Seconds(),
 		Results:     results,
 	}

@@ -41,6 +41,7 @@ func newTracker(name string, total int, w io.Writer, every time.Duration) *track
 }
 
 func (t *tracker) start() {
+	//rbsglint:allow simdeterminism -- progress-ticker wall clock; drives the stderr ETA line, never a result
 	t.begin = time.Now()
 	if t.w == nil {
 		return
@@ -84,6 +85,7 @@ func (t *tracker) observe(res CellResult) {
 // line renders one progress line; the caller holds t.mu.
 func (t *tracker) line() string {
 	finished := t.done + t.resumed + t.failed + t.cancelled
+	//rbsglint:allow simdeterminism -- progress-ticker wall clock; drives the stderr ETA line, never a result
 	elapsed := time.Since(t.begin).Seconds()
 	s := fmt.Sprintf("%s: %d/%d cells", t.name, finished, t.total)
 	if t.resumed > 0 {
@@ -132,6 +134,7 @@ type Meta struct {
 
 // WriteMetaFile atomically writes the reports as runmeta JSON.
 func WriteMetaFile(path string, reports ...*Report) error {
+	//rbsglint:allow simdeterminism -- runmeta records when the run happened (provenance), not simulation state
 	meta := Meta{WrittenAt: time.Now().UTC().Format(time.RFC3339), Grids: reports}
 	data, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {

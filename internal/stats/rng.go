@@ -87,6 +87,28 @@ func (r *RNG) Perm(out []int) {
 	}
 }
 
+// Source adapts an RNG to math/rand's Source64 interface (the methods
+// match; no math/rand import is needed here). It exists for the few
+// distribution shapers the simulator borrows from the standard library
+// — e.g. rand.Zipf in internal/workload — so they draw from the
+// deterministic per-seed stream instead of ambient randomness.
+//
+// This is the one sanctioned stats.RNG → rand.Source64 bridge: every
+// call site that builds a rand.Rand on top of it is still flagged by
+// the simdeterminism analyzer and must carry a
+// //rbsglint:allow simdeterminism -- <reason> directive, keeping the
+// justification next to the use.
+type Source struct{ R *RNG }
+
+// Int63 returns a non-negative 63-bit value from the stream.
+func (s Source) Int63() int64 { return int64(s.R.Uint64() >> 1) }
+
+// Uint64 returns the next 64 bits of the stream.
+func (s Source) Uint64() uint64 { return s.R.Uint64() }
+
+// Seed resets the underlying RNG to the stream identified by seed.
+func (s Source) Seed(seed int64) { s.R.Seed(uint64(seed)) }
+
 // mul64 returns the 128-bit product of a and b as (hi, lo).
 func mul64(a, b uint64) (hi, lo uint64) {
 	const mask = 1<<32 - 1

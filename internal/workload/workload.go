@@ -159,15 +159,6 @@ func (g *Generator) Next() Access {
 	}
 }
 
-// rngSource adapts stats.RNG to math/rand.Source64.
-type rngSource struct{ r *stats.RNG }
-
-func (s rngSource) Int63() int64 { return int64(s.r.Uint64() >> 1) }
-
-func (s rngSource) Uint64() uint64 { return s.r.Uint64() }
-
-func (s rngSource) Seed(seed int64) { s.r.Seed(uint64(seed)) }
-
 // Zipf produces a skewed line distribution — the classic non-uniform
 // write traffic that motivates wear leveling in the first place.
 type Zipf struct {
@@ -180,9 +171,10 @@ type Zipf struct {
 // Ranks are scattered across the address space by a multiplicative hash,
 // so the hot lines are not all at low addresses.
 func NewZipf(lines uint64, s float64, seed uint64) *Zipf {
-	r := rand.New(rngSource{stats.NewRNG(seed)})
+	//rbsglint:allow simdeterminism -- rand.Zipf is only a distribution shaper; it draws exclusively from the seeded stats.Source stream
+	z := rand.NewZipf(rand.New(stats.Source{R: stats.NewRNG(seed)}), s, 1, lines-1)
 	return &Zipf{
-		z:     rand.NewZipf(r, s, 1, lines-1),
+		z:     z,
 		lines: lines,
 		perm: func(x uint64) uint64 {
 			return (x * 0x9e3779b97f4a7c15) % lines
