@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt fmt-check vet lint test race bench-smoke serve serve-smoke loadgen ci
+.PHONY: build fmt fmt-check vet lint test race bench-smoke bench-record bench-gate profile serve serve-smoke loadgen ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,21 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Re-record the committed benchmark baseline (BENCH_4.json). Run on a
+# quiet machine; commit the result with an explanation of what moved.
+bench-record:
+	./scripts/bench_record.sh
+
+# Compare the guard benchmarks against the committed baseline; fails on
+# >15% ns/op regression or any allocs/op growth. BENCHGATE_SKIP=1 to
+# override, BENCHGATE_MAX_REGRESS to widen (see DESIGN.md).
+bench-gate:
+	./scripts/bench_gate.sh
+
+# Capture a CPU profile of memctld under loadgen (writes cpu.pprof).
+profile:
+	./scripts/profile.sh
+
 # Run the memory-controller daemon with defaults (Ctrl-C drains).
 serve:
 	$(GO) run ./cmd/memctld
@@ -56,4 +71,4 @@ loadgen:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: fmt-check test lint race bench-smoke serve-smoke
+ci: fmt-check test lint race bench-smoke bench-gate serve-smoke

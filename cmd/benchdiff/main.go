@@ -1,0 +1,136 @@
+// Command benchdiff records and gates benchmark baselines — the repo's
+// dependency-free stand-in for benchstat, driven by the committed
+// BENCH_N.json files.
+//
+// Record a baseline from `go test -bench` output:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchdiff -record -out BENCH_4.json
+//
+// Gate a run against a baseline (exit 1 on regression):
+//
+//	benchdiff -baseline BENCH_4.json -guard Benchmark1,Benchmark2 run.txt
+//
+// Environment knobs (the CI override path — see DESIGN.md):
+//
+//	BENCHGATE_SKIP=1            skip the gate entirely (exit 0)
+//	BENCHGATE_MAX_REGRESS=0.30  widen the ns/op threshold (default 0.15)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"securityrbsg/internal/benchparse"
+)
+
+func main() {
+	var (
+		record     = flag.Bool("record", false, "write a baseline instead of comparing")
+		out        = flag.String("out", "", "baseline file to write (with -record)")
+		note       = flag.String("note", "", "free-form provenance note stored in the baseline")
+		baseline   = flag.String("baseline", "", "baseline file to compare against")
+		guard      = flag.String("guard", "", "comma-separated guard benchmark names")
+		maxRegress = flag.Float64("max-regress", 0.15, "max allowed ns/op regression (0.15 = +15%)")
+	)
+	flag.Parse()
+	if err := run(*record, *out, *note, *baseline, *guard, *maxRegress, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(record bool, out, note, baseline, guard string, maxRegress float64, args []string) error {
+	results, err := readResults(args)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	if record {
+		if out == "" {
+			return fmt.Errorf("-record requires -out")
+		}
+		base := benchparse.NewBaseline(results, note)
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(base.Benchmarks), out)
+		return nil
+	}
+
+	if os.Getenv("BENCHGATE_SKIP") == "1" {
+		fmt.Println("benchdiff: gate skipped (BENCHGATE_SKIP=1)")
+		return nil
+	}
+	if v := os.Getenv("BENCHGATE_MAX_REGRESS"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad BENCHGATE_MAX_REGRESS %q: %v", v, err)
+		}
+		maxRegress = f
+	}
+	if baseline == "" || guard == "" {
+		return fmt.Errorf("compare mode requires -baseline and -guard (or -record)")
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var base benchparse.Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %v", baseline, err)
+	}
+	guards := strings.Split(guard, ",")
+	regs, err := benchparse.Compare(base, results, guards, maxRegress)
+	if err != nil {
+		return err
+	}
+	best := benchparse.Best(results)
+	for _, g := range guards {
+		oldNs := base.Benchmarks[g]["ns/op"]
+		newNs := best[g].Metrics["ns/op"]
+		fmt.Printf("benchdiff: %-34s ns/op %12.4g -> %12.4g (%+.1f%%)\n",
+			g, oldNs, newNs, (newNs/oldNs-1)*100)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION", r)
+		}
+		return fmt.Errorf("%d guard regression(s) beyond +%.0f%% vs %s "+
+			"(set BENCHGATE_SKIP=1 to override, or re-record the baseline with `make bench-record` "+
+			"and justify the new numbers in the PR)", len(regs), maxRegress*100, baseline)
+	}
+	fmt.Printf("benchdiff: %d guards within +%.0f%% of %s\n", len(guards), maxRegress*100, baseline)
+	return nil
+}
+
+// readResults parses every input file (stdin when none).
+func readResults(args []string) ([]benchparse.Result, error) {
+	if len(args) == 0 {
+		return benchparse.Parse(os.Stdin)
+	}
+	var all []benchparse.Result
+	for _, a := range args {
+		f, err := os.Open(a)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := benchparse.Parse(io.Reader(f))
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rs...)
+	}
+	return all, nil
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,7 @@ func main() {
 	detWindow := flag.Uint64("detector-window", 0, "detector observation window in writes (0 = default)")
 	detBoost := flag.Uint64("detector-boost", 0, "detector remapping-rate boost (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (default off; keep it loopback)")
 	flag.Parse()
 
 	srv, err := memserver.New(memserver.Config{
@@ -65,6 +67,23 @@ func main() {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+
+	// The profiler gets its own listener, never the service mux: the
+	// debug surface must not be reachable through the served API port.
+	// net/http/pprof registers on DefaultServeMux at import time, so
+	// serving the default mux here is the whole wiring.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listen: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "memctld: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "memctld: pprof server:", err)
+			}
+		}()
 	}
 
 	srv.Start()

@@ -1,0 +1,176 @@
+// Package benchparse reads `go test -bench` output and compares runs
+// against a committed baseline — an in-repo, dependency-free sliver of
+// benchstat, shaped for the CI perf gate.
+//
+// The repo tracks its performance trajectory in committed BENCH_N.json
+// baselines (one per optimization PR). A baseline maps benchmark name →
+// unit → value for every unit the benchmark printed: the standard
+// ns/op, B/op and allocs/op plus each custom ReportMetric series (the
+// figure benchmarks report paper numbers — pct_of_ideal, attacker
+// writes — so the baseline doubles as a record of *results*, not just
+// speed). Compare checks the designated guard benchmarks' ns/op
+// against the baseline with a relative threshold, and their allocs/op
+// exactly: the zero-allocation kernels are a contract, and "one alloc
+// crept back in" is precisely the regression an averaged time threshold
+// would miss.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// so baselines recorded on different machines stay comparable.
+	Name string
+	// Iters is the iteration count (the b.N the line reports).
+	Iters int64
+	// Metrics maps unit → value: "ns/op", "B/op", "allocs/op" and any
+	// custom ReportMetric units.
+	Metrics map[string]float64
+}
+
+// ParseLine parses one line of -bench output. ok is false for anything
+// that is not a benchmark result line (headers, PASS, pkg banners).
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: trimProcs(fields[0]), Iters: iters, Metrics: map[string]float64{}}
+	// The remainder is value/unit pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, true
+}
+
+// trimProcs strips a trailing -N GOMAXPROCS suffix.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Parse reads a whole -bench output stream. Repeated names (-count > 1)
+// are all returned, in order.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchparse: %w", err)
+	}
+	return out, nil
+}
+
+// Best collapses repeated runs of the same benchmark to the run with
+// the minimum ns/op — the standard noise reduction for a gate: the
+// fastest observation is the one least polluted by scheduler jitter.
+func Best(results []Result) map[string]Result {
+	best := map[string]Result{}
+	for _, r := range results {
+		cur, seen := best[r.Name]
+		if !seen || r.Metrics["ns/op"] < cur.Metrics["ns/op"] {
+			best[r.Name] = r
+		}
+	}
+	return best
+}
+
+// Baseline is the committed BENCH_N.json shape.
+type Baseline struct {
+	// Note records what the baseline was captured with (benchtime, CPU).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps name → unit → value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// NewBaseline builds a Baseline from parsed results (best run per name).
+func NewBaseline(results []Result, note string) Baseline {
+	b := Baseline{Note: note, Benchmarks: map[string]map[string]float64{}}
+	for name, r := range Best(results) {
+		b.Benchmarks[name] = r.Metrics
+	}
+	return b
+}
+
+// Regression is one guard benchmark that got worse than the baseline
+// allows.
+type Regression struct {
+	Name     string
+	Unit     string
+	Old, New float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)",
+		r.Name, r.Unit, r.Old, r.New, (r.New/r.Old-1)*100)
+}
+
+// Compare gates `results` against the baseline on the guard benchmark
+// names: ns/op may regress by at most maxRegress (0.15 = +15%), and
+// allocs/op may not exceed the recorded value at all. A guard missing
+// from either side is an error — a gate that silently stops measuring
+// is worse than none.
+func Compare(base Baseline, results []Result, guards []string, maxRegress float64) ([]Regression, error) {
+	best := Best(results)
+	var regs []Regression
+	for _, g := range guards {
+		old, ok := base.Benchmarks[g]
+		if !ok {
+			return nil, fmt.Errorf("benchparse: guard %s not in baseline", g)
+		}
+		cur, ok := best[g]
+		if !ok {
+			return nil, fmt.Errorf("benchparse: guard %s not in current run", g)
+		}
+		oldNs, ok := old["ns/op"]
+		if !ok || oldNs <= 0 {
+			return nil, fmt.Errorf("benchparse: guard %s baseline has no ns/op", g)
+		}
+		if newNs := cur.Metrics["ns/op"]; newNs > oldNs*(1+maxRegress) {
+			regs = append(regs, Regression{Name: g, Unit: "ns/op", Old: oldNs, New: newNs})
+		}
+		if oldAllocs, ok := old["allocs/op"]; ok {
+			if newAllocs := cur.Metrics["allocs/op"]; newAllocs > oldAllocs {
+				regs = append(regs, Regression{Name: g, Unit: "allocs/op", Old: oldAllocs, New: newAllocs})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Unit < regs[j].Unit
+	})
+	return regs, nil
+}

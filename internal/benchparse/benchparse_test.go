@@ -1,0 +1,90 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: securityrbsg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFeistelMapTable-8      	1000000000	         0.7471 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLifetimeRAAScaled 	      25	  45886402 ns/op	        73.21 pct_of_ideal	       7 B/op	       0 allocs/op
+BenchmarkFeistelMapTable-8      	 900000000	         0.9000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	securityrbsg	7.918s
+`
+
+func parseSample(t *testing.T) []Result {
+	t.Helper()
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestParse(t *testing.T) {
+	rs := parseSample(t)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	if rs[0].Name != "BenchmarkFeistelMapTable" {
+		t.Errorf("procs suffix not stripped: %q", rs[0].Name)
+	}
+	if rs[0].Metrics["ns/op"] != 0.7471 || rs[0].Metrics["allocs/op"] != 0 {
+		t.Errorf("bad metrics: %+v", rs[0].Metrics)
+	}
+	if rs[1].Iters != 25 || rs[1].Metrics["pct_of_ideal"] != 73.21 {
+		t.Errorf("ReportMetric series lost: %+v", rs[1])
+	}
+}
+
+func TestBestTakesMinNs(t *testing.T) {
+	best := Best(parseSample(t))
+	if got := best["BenchmarkFeistelMapTable"].Metrics["ns/op"]; got != 0.7471 {
+		t.Fatalf("Best kept %v ns/op, want the 0.7471 run", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := NewBaseline(parseSample(t), "test")
+	guards := []string{"BenchmarkFeistelMapTable", "BenchmarkLifetimeRAAScaled"}
+
+	// Identical run: no regressions.
+	regs, err := Compare(base, parseSample(t), guards, 0.15)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("self-compare: regs=%v err=%v", regs, err)
+	}
+
+	// 30% slower + one new alloc on the scaled kernel: both flagged.
+	slow := []Result{
+		{Name: "BenchmarkFeistelMapTable", Iters: 1, Metrics: map[string]float64{"ns/op": 0.7471 * 1.30, "allocs/op": 0}},
+		{Name: "BenchmarkLifetimeRAAScaled", Iters: 1, Metrics: map[string]float64{"ns/op": 45886402, "allocs/op": 1}},
+	}
+	regs, err = Compare(base, slow, guards, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions (ns/op + allocs/op), got %v", regs)
+	}
+	if regs[0].Unit != "ns/op" || regs[1].Unit != "allocs/op" {
+		t.Fatalf("unexpected regression units: %v", regs)
+	}
+
+	// Widened threshold forgives the slowdown but not the allocation.
+	regs, err = Compare(base, slow, guards, 0.50)
+	if err != nil || len(regs) != 1 || regs[0].Unit != "allocs/op" {
+		t.Fatalf("allocs/op must gate exactly: regs=%v err=%v", regs, err)
+	}
+
+	// A guard absent from the run is an error, not a silent pass.
+	if _, err := Compare(base, slow[:1], guards, 0.15); err == nil {
+		t.Fatal("missing guard did not error")
+	}
+	if _, err := Compare(base, slow, []string{"BenchmarkNope"}, 0.15); err == nil {
+		t.Fatal("guard missing from baseline did not error")
+	}
+}

@@ -98,6 +98,12 @@ type Config struct {
 	Migration Migration
 	// Seed seeds all key generation.
 	Seed uint64
+	// NoTableCache forces direct per-access Feistel evaluation even when
+	// the address width is small enough to materialize the DFN into
+	// per-round lookup tables. Translation is bit-identical either way
+	// (the differential tests depend on it); the knob exists for those
+	// tests and for ablation measurements.
+	NoTableCache bool
 }
 
 // SuggestedConfig returns the paper's recommended configuration for a bank
@@ -140,6 +146,20 @@ type Scheme struct {
 
 	kc, kp feistel.Permutation
 	rng    *stats.RNG
+
+	// Table-mode state (bits ≤ feistel.MaxTableBits and !NoTableCache):
+	// the DFN is materialized into lookup tables once per remapping
+	// round. dfn is the one reusable key-holding network, rekeyed in
+	// place at every round start; tables are the two rotating
+	// materialization buffers kc and kp point into — the round's redraw
+	// refills only the buffer no live mapping references, so a stale
+	// table can never serve a translation mid-round. cur indexes the
+	// buffer kc currently uses. Above the width threshold (or with
+	// NoTableCache) dfn stays nil and newPerm evaluates directly.
+	dfn    *feistel.Network
+	dfnW   feistel.Permutation // dfn, cycle-walked for odd widths
+	tables [2]*feistel.Table
+	cur    int
 
 	isRemap  []uint64 // bitset over logical addresses
 	remapped uint64   // population count of isRemap
@@ -184,8 +204,22 @@ func New(cfg Config) (*Scheme, error) {
 		dispLA:    noBufLA,
 		gap:       cfg.Lines,
 	}
-	k := s.newPerm()
-	s.kc, s.kp = k, k
+	if !cfg.NoTableCache && bits <= feistel.MaxTableBits {
+		width := bits
+		if width%2 != 0 {
+			width++
+		}
+		s.dfn = feistel.MustRandom(width, cfg.Stages, s.rng)
+		s.dfnW = s.dfn
+		if bits%2 != 0 {
+			s.dfnW = feistel.MustNewWalker(s.dfn, cfg.Lines)
+		}
+		s.tables[0] = feistel.MustNewTable(s.dfnW)
+		s.kc, s.kp = s.tables[0], s.tables[0]
+	} else {
+		k := s.newDirect()
+		s.kc, s.kp = k, k
+	}
 	s.regions = make([]*startgap.Region, cfg.Regions)
 	for i := range s.regions {
 		base := uint64(i) * (s.perRegion + 1)
@@ -207,15 +241,39 @@ func MustNew(cfg Config) *Scheme {
 	return s
 }
 
-// newPerm draws a fresh DFN permutation over the logical space. Odd
-// address widths run a one-bit-wider network under cycle walking.
-func (s *Scheme) newPerm() feistel.Permutation {
+// newDirect draws a fresh directly-evaluated DFN permutation over the
+// logical space. Odd address widths run a one-bit-wider network under
+// cycle walking.
+func (s *Scheme) newDirect() feistel.Permutation {
 	// Cannot fail: width and stage count are validated at construction,
 	// and Lines ≤ 2^(bits+1) by the width derivation.
 	if s.bits%2 == 0 {
 		return feistel.MustRandom(s.bits, s.cfg.Stages, s.rng)
 	}
 	return feistel.MustNewWalker(feistel.MustRandom(s.bits+1, s.cfg.Stages, s.rng), s.cfg.Lines)
+}
+
+// redrawPerm draws the next round's DFN permutation. In table mode it
+// rekeys the one reusable network in place (consuming exactly the RNG
+// draws a fresh construction would, so both modes translate
+// identically) and rematerializes into the spare table buffer — the one
+// neither kc nor kp references, so in-flight translations of the old
+// round never see a partially built or stale table. Callers must have
+// already rotated kp before invoking it.
+func (s *Scheme) redrawPerm() feistel.Permutation {
+	if s.dfn == nil {
+		return s.newDirect()
+	}
+	s.dfn.RekeyRandom(s.rng)
+	s.cur = 1 - s.cur
+	t := s.tables[s.cur]
+	if t == nil {
+		t = feistel.MustNewTable(s.dfnW)
+		s.tables[s.cur] = t
+	} else {
+		t.MustFill(s.dfnW)
+	}
+	return t
 }
 
 // Name identifies the scheme.
@@ -320,7 +378,7 @@ func (s *Scheme) NoteWrite(la uint64, m wear.Mover) uint64 {
 // startRound rotates the keys and clears the remap state.
 func (s *Scheme) startRound() {
 	s.kp = s.kc
-	s.kc = s.newPerm()
+	s.kc = s.redrawPerm()
 	for i := range s.isRemap {
 		s.isRemap[i] = 0
 	}

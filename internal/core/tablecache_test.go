@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"securityrbsg/internal/feistel"
+	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/wear"
+)
+
+// The table cache is a pure evaluation-strategy change: a Scheme built
+// with NoTableCache (direct Feistel evaluation every access) and its
+// cached twin must agree on every translation at every point of every
+// remapping round. These tests drive both side by side through live
+// write traffic — including mid-migration states, where a stale table
+// would surface as kc/kp disagreeing with the direct evaluation.
+
+func twinConfigs(lines, regions uint64, migration Migration) (cached, direct Config) {
+	cached = Config{
+		Lines: lines, Regions: regions,
+		InnerInterval: 3, OuterInterval: 5,
+		Stages: 7, Migration: migration, Seed: 99,
+	}
+	direct = cached
+	direct.NoTableCache = true
+	return cached, direct
+}
+
+func newTwinPair(t *testing.T, lines, regions uint64, migration Migration) (a, b *Scheme, ca, cb *wear.Controller) {
+	t.Helper()
+	cfgA, cfgB := twinConfigs(lines, regions, migration)
+	a, b = MustNew(cfgA), MustNew(cfgB)
+	bank := pcm.Config{LineBytes: 256, Endurance: 1 << 30, Timing: pcm.DefaultTiming}
+	return a, b, wear.MustNewController(bank, a), wear.MustNewController(bank, b)
+}
+
+func compareAll(t *testing.T, step int, a, b *Scheme) {
+	t.Helper()
+	for la := uint64(0); la < a.LogicalLines(); la++ {
+		if got, want := a.Translate(la), b.Translate(la); got != want {
+			t.Fatalf("step %d: Translate(%d) = %d cached, %d direct", step, la, got, want)
+		}
+		if got, want := a.Intermediate(la), b.Intermediate(la); got != want {
+			t.Fatalf("step %d: Intermediate(%d) = %d cached, %d direct", step, la, got, want)
+		}
+	}
+}
+
+// TestTableCacheMatchesDirect drives several full remapping rounds of
+// write traffic and checks the cached and direct twins agree on the
+// whole address space after every single write.
+func TestTableCacheMatchesDirect(t *testing.T) {
+	for _, mig := range []Migration{MigrationSwap, MigrationMove} {
+		a, b, ca, cb := newTwinPair(t, 256, 8, mig)
+		if a.Rounds() != 0 {
+			t.Fatal("fresh scheme already remapped")
+		}
+		step := 0
+		for a.Rounds() < 3 {
+			la := uint64(step*7) % a.LogicalLines()
+			if ca.Write(la, pcm.Mixed) != cb.Write(la, pcm.Mixed) {
+				t.Fatalf("step %d: write latency diverged", step)
+			}
+			compareAll(t, step, a, b)
+			if a.Rounds() != b.Rounds() || a.Moves() != b.Moves() {
+				t.Fatalf("step %d: round/move counters diverged", step)
+			}
+			step++
+		}
+	}
+}
+
+// TestTableCacheOddWidth repeats the twin check on a non-even address
+// width (2^7 lines per region ⇒ cycle-walking under the tables).
+func TestTableCacheOddWidth(t *testing.T) {
+	a, b, ca, cb := newTwinPair(t, 128, 1, MigrationSwap)
+	for step := 0; a.Rounds() < 2; step++ {
+		la := uint64(step*5) % a.LogicalLines()
+		ca.Write(la, pcm.Mixed)
+		cb.Write(la, pcm.Mixed)
+		compareAll(t, step, a, b)
+	}
+}
+
+// TestRedrawNeverServesStaleTable pins the two-buffer rotation: across
+// a round boundary kc changes while kp must keep answering with the
+// *previous* round's mapping — if redrawPerm refilled a buffer still
+// referenced by kc or kp, the old permutation would silently change.
+func TestRedrawNeverServesStaleTable(t *testing.T) {
+	cfg, _ := twinConfigs(256, 8, MigrationSwap)
+	s := MustNew(cfg)
+	c := wear.MustNewController(pcm.Config{
+		LineBytes: 256, Endurance: 1 << 30, Timing: pcm.DefaultTiming,
+	}, s)
+
+	snapshot := func(p feistel.Permutation) []uint64 {
+		m := make([]uint64, p.Domain())
+		for x := range m {
+			m[x] = p.Encrypt(uint64(x))
+		}
+		return m
+	}
+
+	var la uint64
+	write := func() { c.Write(la, pcm.Mixed); la = (la + 3) % s.LogicalLines() }
+
+	for round := uint64(0); round < 4; round++ {
+		// Walk up to the round boundary and capture kc's mapping.
+		start := s.Rounds()
+		kcBefore, _ := s.CurrentKeys()
+		before := snapshot(kcBefore)
+		for s.Rounds() == start {
+			write()
+		}
+		// The round turned: the old kc is now kp and must be unchanged.
+		kc, kp := s.CurrentKeys()
+		if kp != kcBefore {
+			t.Fatalf("round %d: kp is not the previous kc", round)
+		}
+		after := snapshot(kp)
+		for x := range before {
+			if before[x] != after[x] {
+				t.Fatalf("round %d: kp mapping of %d changed %d -> %d after redraw (stale table refill)",
+					round, x, before[x], after[x])
+			}
+		}
+		if kc == kp {
+			t.Fatalf("round %d: kc and kp share a table after redraw", round)
+		}
+		// And the new kc must differ somewhere (7-stage redraw of a
+		// 256-line space matching identically is ~impossible).
+		fresh := snapshot(kc)
+		same := true
+		for x := range fresh {
+			if fresh[x] != before[x] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("round %d: kc identical to previous round after redraw", round)
+		}
+	}
+}
+
+// TestTableCacheUsedWhenSmall asserts the construction policy: scaled
+// geometries get *feistel.Table keys, NoTableCache and paper-scale
+// domains do not.
+func TestTableCacheUsedWhenSmall(t *testing.T) {
+	cached, direct := twinConfigs(1<<10, 4, MigrationSwap)
+	kc, _ := MustNew(cached).CurrentKeys()
+	if _, ok := kc.(*feistel.Table); !ok {
+		t.Fatalf("small domain not table-cached: %T", kc)
+	}
+	kc, _ = MustNew(direct).CurrentKeys()
+	if _, ok := kc.(*feistel.Table); ok {
+		t.Fatal("NoTableCache still produced a table")
+	}
+}

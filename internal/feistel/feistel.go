@@ -69,6 +69,17 @@ func MustRandom(bits uint, stages int, rng *stats.RNG) *Network {
 	return n
 }
 
+// RekeyRandom redraws every stage key in place from rng, consuming
+// exactly the draws Random would — a Network rekeyed this way is
+// indistinguishable from a freshly constructed one, so per-round key
+// redraws (Security RBSG's DFN, the lifetime estimators) need no
+// allocation and leave deterministic RNG streams untouched.
+func (n *Network) RekeyRandom(rng *stats.RNG) {
+	for i := range n.keys {
+		n.keys[i] = rng.Uint64() & n.mask
+	}
+}
+
 // Bits returns the permutation width B.
 func (n *Network) Bits() uint { return n.bits }
 

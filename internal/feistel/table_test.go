@@ -1,0 +1,167 @@
+package feistel
+
+import (
+	"testing"
+
+	"securityrbsg/internal/stats"
+)
+
+// checkTableMatches asserts that a materialized table is bit-identical
+// to direct evaluation of p over its whole domain, in both directions.
+func checkTableMatches(t *testing.T, p Permutation, tab *Table) {
+	t.Helper()
+	if got, want := tab.Domain(), p.Domain(); got != want {
+		t.Fatalf("table domain %d, want %d", got, want)
+	}
+	for x := uint64(0); x < p.Domain(); x++ {
+		if got, want := tab.Encrypt(x), p.Encrypt(x); got != want {
+			t.Fatalf("Encrypt(%d) = %d via table, %d direct", x, got, want)
+		}
+		if got, want := tab.Decrypt(x), p.Decrypt(x); got != want {
+			t.Fatalf("Decrypt(%d) = %d via table, %d direct", x, got, want)
+		}
+	}
+}
+
+// TestTableMatchesDirectNetwork sweeps widths and stage counts of the
+// bare (power-of-two domain) network.
+func TestTableMatchesDirectNetwork(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for _, bits := range []uint{2, 4, 6, 8, 10, 12} {
+		for _, stages := range []int{1, 3, 7, 14} {
+			n := MustRandom(bits, stages, rng)
+			checkTableMatches(t, n, MustNewTable(n))
+		}
+	}
+}
+
+// TestTableMatchesDirectWalker covers cycle-walking domains: odd widths
+// and non-power-of-two sizes, where Encrypt loops until it lands inside
+// [0, n). The table must bake the whole walk in.
+func TestTableMatchesDirectWalker(t *testing.T) {
+	rng := stats.NewRNG(12)
+	for _, tc := range []struct {
+		bits uint
+		n    uint64
+	}{
+		{4, 9},      // odd-width 2^3-to-2^4 walk (9 > 8)
+		{4, 12},     // non-power-of-two restriction
+		{6, 33},     // just above half: worst-case walk lengths
+		{8, 200},    //
+		{12, 3000},  //
+		{14, 10000}, // scaled-geometry-sized sub-region
+	} {
+		for _, stages := range []int{3, 7} {
+			w := MustNewWalker(MustRandom(tc.bits, stages, rng), tc.n)
+			checkTableMatches(t, w, MustNewTable(w))
+		}
+	}
+}
+
+// TestTableMatchesDirectMatrix covers the RIBM randomizer RBSG can use
+// in place of the Feistel network.
+func TestTableMatchesDirectMatrix(t *testing.T) {
+	rng := stats.NewRNG(13)
+	for _, bits := range []uint{3, 7, 11} {
+		m, err := NewMatrix(bits, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTableMatches(t, m, MustNewTable(m))
+	}
+}
+
+// TestTableFillTracksRekey is the invalidation contract: after a key
+// redraw, one Fill makes the table match the new permutation — no stale
+// entries survive from the previous round.
+func TestTableFillTracksRekey(t *testing.T) {
+	rng := stats.NewRNG(14)
+	n := MustRandom(10, 7, rng)
+	w := MustNewWalker(n, 1000)
+	tab := MustNewTable(w)
+	for round := 0; round < 5; round++ {
+		n.RekeyRandom(rng)
+		tab.MustFill(w)
+		checkTableMatches(t, w, tab)
+	}
+}
+
+// TestTableIsPermutation checks both directions compose to the identity
+// — a corrupted inverse table would break migration (old-position
+// lookups) silently.
+func TestTableIsPermutation(t *testing.T) {
+	rng := stats.NewRNG(15)
+	tab := MustNewTable(MustNewWalker(MustRandom(12, 7, rng), 2500))
+	for x := uint64(0); x < tab.Domain(); x++ {
+		if got := tab.Decrypt(tab.Encrypt(x)); got != x {
+			t.Fatalf("Decrypt(Encrypt(%d)) = %d", x, got)
+		}
+	}
+}
+
+// TestFillRejectsOversizedDomain pins the fallback threshold: domains
+// above MaxTableDomain (and the degenerate empty domain) must refuse to
+// materialize, and Materialize must pass such permutations through
+// unchanged.
+func TestFillRejectsOversizedDomain(t *testing.T) {
+	if _, err := NewTable(Identity(MaxTableDomain + 1)); err == nil {
+		t.Fatal("NewTable accepted a domain above MaxTableDomain")
+	}
+	if _, err := NewTable(Identity(0)); err == nil {
+		t.Fatal("NewTable accepted an empty domain")
+	}
+	big := Identity(MaxTableDomain + 1)
+	if got := Materialize(big); got != big {
+		t.Fatalf("Materialize did not pass through an oversized domain: %T", got)
+	}
+	if _, ok := Materialize(Identity(64)).(*Table); !ok {
+		t.Fatal("Materialize did not build a table for a small domain")
+	}
+}
+
+// TestFillReusesArrays pins the per-round allocation contract: refilling
+// a table for the same (or smaller) domain must not allocate.
+func TestFillReusesArrays(t *testing.T) {
+	rng := stats.NewRNG(16)
+	n := MustRandom(12, 7, rng)
+	tab := MustNewTable(n)
+	allocs := testing.AllocsPerRun(10, func() {
+		n.RekeyRandom(rng)
+		tab.MustFill(n)
+	})
+	if allocs != 0 {
+		t.Fatalf("refill allocated %v objects per round, want 0", allocs)
+	}
+}
+
+// FuzzTableMatchesDirect drives random geometries and probe points
+// through both evaluation paths.
+func FuzzTableMatchesDirect(f *testing.F) {
+	f.Add(uint64(1), uint(8), 7, uint64(200), uint64(3))
+	f.Add(uint64(9), uint(4), 3, uint64(9), uint64(8))
+	f.Add(uint64(77), uint(12), 14, uint64(4096), uint64(4095))
+	f.Fuzz(func(t *testing.T, seed uint64, bits uint, stages int, n uint64, probe uint64) {
+		bits = 2 + bits%13 // 2..14, within table range after walking
+		if bits%2 == 1 {
+			bits++
+		}
+		stages = 1 + (stages%14+14)%14
+		n = 1 + n%(uint64(1)<<bits)
+		rng := stats.NewRNG(seed)
+		var p Permutation = MustRandom(bits, stages, rng)
+		if n < p.Domain() {
+			p = MustNewWalker(p, n)
+		}
+		tab := MustNewTable(p)
+		x := probe % p.Domain()
+		if got, want := tab.Encrypt(x), p.Encrypt(x); got != want {
+			t.Fatalf("Encrypt(%d): table %d, direct %d", x, got, want)
+		}
+		if got, want := tab.Decrypt(x), p.Decrypt(x); got != want {
+			t.Fatalf("Decrypt(%d): table %d, direct %d", x, got, want)
+		}
+		if got := tab.Decrypt(tab.Encrypt(x)); got != x {
+			t.Fatalf("round trip of %d gave %d", x, got)
+		}
+	})
+}

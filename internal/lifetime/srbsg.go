@@ -3,6 +3,7 @@ package lifetime
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"securityrbsg/internal/analytic"
@@ -73,6 +74,14 @@ type arcSim struct {
 	m       uint16 // visits to failure
 	quantum uint64 // writes per visit
 
+	// The reusable DFN: net holds the stage keys and is rekeyed in
+	// place for every round (exactly the RNG draws a fresh construction
+	// would make, so the visit sequence is bit-identical to allocating
+	// anew), perm is net — cycle-walked for odd widths. Built lazily on
+	// the first draw so construction itself consumes no RNG words.
+	net  *feistel.Network
+	perm feistel.Permutation
+
 	failed   bool
 	failSlot uint64
 }
@@ -107,36 +116,93 @@ func newArcSim(d Device, p SRBSGParams, seed uint64) (*arcSim, error) {
 	return s, nil
 }
 
-// newPerm draws a fresh DFN permutation (cycle-walked for odd widths).
-func (s *arcSim) newPerm() feistel.Permutation {
-	if s.bits%2 == 0 {
-		return feistel.MustRandom(s.bits, s.p.Stages, s.rng)
+// reset rewinds the simulator to a fresh run of the same geometry on a
+// new seed, reusing every flat array. A reset sim is indistinguishable
+// from a newly constructed one: the key network keeps its allocation
+// but its first redraw consumes the same RNG words a fresh construction
+// would.
+func (s *arcSim) reset(seed uint64) {
+	clear(s.counts)
+	clear(s.drift)
+	s.rng.Seed(seed)
+	s.failed = false
+	s.failSlot = 0
+}
+
+// nextPerm draws the next round's DFN permutation (cycle-walked for odd
+// widths): the first call builds the network, every later call rekeys
+// it in place — zero allocations per round.
+func (s *arcSim) nextPerm() feistel.Permutation {
+	if s.net == nil {
+		width := s.bits
+		if width%2 != 0 {
+			width++
+		}
+		s.net = feistel.MustRandom(width, s.p.Stages, s.rng)
+		s.perm = s.net
+		if s.bits%2 != 0 {
+			// Cannot fail: Lines ≤ 2^(bits+1) by the width derivation.
+			s.perm = feistel.MustNewWalker(s.net, s.d.Lines)
+		}
+		return s.perm
 	}
-	inner := feistel.MustRandom(s.bits+1, s.p.Stages, s.rng)
-	// Cannot fail: Lines ≤ 2^(bits+1) by the width derivation above.
-	return feistel.MustNewWalker(inner, s.d.Lines)
+	s.net.RekeyRandom(s.rng)
+	return s.perm
 }
 
 // deposit places `visits` consecutive slot-visits for intermediate
 // address ia, starting from the sub-region's current rotation position.
+// Short arcs (the overwhelmingly common case: an arc touches each slot
+// at most once) split into at most two contiguous segments around the
+// wrap point, so the inner loop is a branch-light sequential counter
+// sweep — this loop is where Monte-Carlo lifetime estimation spends
+// ~90% of its time at paper scale.
 func (s *arcSim) deposit(ia uint64, visits uint64) {
 	region := ia / s.n
 	base := region * s.slot
 	pos := (ia%s.n + s.drift[region]) % s.slot
-	for k := uint64(0); k < visits; k++ {
-		idx := base + pos
-		c := s.counts[idx] + 1
-		s.counts[idx] = c
-		if c >= s.m && !s.failed {
-			s.failed = true
-			s.failSlot = idx
+	if visits < s.slot {
+		first := visits
+		if first > s.slot-pos {
+			first = s.slot - pos
 		}
-		pos++
-		if pos == s.slot {
-			pos = 0
+		s.bump(base+pos, first)
+		if rest := visits - first; rest > 0 {
+			s.bump(base, rest)
+		}
+	} else {
+		// Arcs longer than the region lap it: keep the exact per-visit
+		// walk so multi-lap threshold crossings stay in deposit order.
+		for k := uint64(0); k < visits; k++ {
+			idx := base + pos
+			c := s.counts[idx] + 1
+			s.counts[idx] = c
+			if c >= s.m && !s.failed {
+				s.failed = true
+				s.failSlot = idx
+			}
+			pos++
+			if pos == s.slot {
+				pos = 0
+			}
 		}
 	}
 	s.drift[region] += visits
+}
+
+// bump increments counts[start:start+n], recording the first counter
+// (in deposit order) to cross the failure threshold.
+func (s *arcSim) bump(start, n uint64) {
+	seg := s.counts[start : start+n]
+	m := s.m
+	for i := range seg {
+		c := seg[i] + 1
+		seg[i] = c
+		if c >= m && !s.failed {
+			s.failed = true
+			s.failSlot = start + uint64(i)
+		}
+	}
 }
 
 // run hammers one logical address until a slot fails or maxWrites demand
@@ -145,7 +211,7 @@ func (s *arcSim) deposit(ia uint64, visits uint64) {
 func (s *arcSim) run(la uint64, maxWrites float64) float64 {
 	roundWrites := float64(s.d.Lines) * float64(s.p.OuterInterval)
 	visitsPerRound := roundWrites / float64(s.quantum)
-	cur := s.newPerm().Encrypt(la)
+	cur := s.nextPerm().Encrypt(la)
 	var writes, carry float64
 	emit := func(ia uint64, v float64) {
 		carry += v
@@ -154,7 +220,7 @@ func (s *arcSim) run(la uint64, maxWrites float64) float64 {
 		s.deposit(ia, uint64(whole))
 	}
 	for !s.failed && (maxWrites <= 0 || writes < maxWrites) {
-		next := s.newPerm().Encrypt(la)
+		next := s.nextPerm().Encrypt(la)
 		// The DFN relocates la at a uniformly random point in the round
 		// (its position in the remapping cycle walk).
 		u := s.rng.Float64()
@@ -166,41 +232,86 @@ func (s *arcSim) run(la uint64, maxWrites float64) float64 {
 	return writes
 }
 
-// RAAOnSecurityRBSG simulates hammering one logical address against
-// Security RBSG (Figs 14 and 15) with real DFN key draws.
-func RAAOnSecurityRBSG(d Device, p SRBSGParams, seed uint64) (Estimate, error) {
-	s, err := newArcSim(d, p, seed)
+// RAASim is a reusable Monte-Carlo simulator for RAA against Security
+// RBSG: one instance holds the flat visit-count and rotation arrays
+// (megabytes at paper scale) and the key network, and successive Run
+// calls reuse them all — a repetition allocates nothing. Run(seed) is
+// bit-identical to RAAOnSecurityRBSG(d, p, seed). Not safe for
+// concurrent use; callers shard by running one RAASim per goroutine.
+type RAASim struct {
+	d   Device
+	p   SRBSGParams
+	sim *arcSim
+}
+
+// NewRAASim validates the geometry and preallocates the simulation
+// state.
+func NewRAASim(d Device, p SRBSGParams) (*RAASim, error) {
+	sim, err := newArcSim(d, p, 0)
 	if err != nil {
-		return Estimate{}, err
+		return nil, err
 	}
-	writes := s.run(seed%d.Lines, 0)
-	perWrite := float64(d.Timing.SetNs) + srbsgOverheadNs(d, p)
+	return &RAASim{d: d, p: p, sim: sim}, nil
+}
+
+// Run simulates one hammering trial under the given seed and returns
+// its lifetime estimate.
+func (r *RAASim) Run(seed uint64) Estimate {
+	r.sim.reset(seed)
+	writes := r.sim.run(seed%r.d.Lines, 0)
+	perWrite := float64(r.d.Timing.SetNs) + srbsgOverheadNs(r.d, r.p)
 	return Estimate{
 		Scheme: "security-rbsg", Attack: "raa",
 		Writes:          writes,
 		Seconds:         Seconds(writes, perWrite),
-		FractionOfIdeal: writes / d.IdealWrites(),
-	}, nil
+		FractionOfIdeal: writes / r.d.IdealWrites(),
+	}
+}
+
+// RAAOnSecurityRBSG simulates hammering one logical address against
+// Security RBSG (Figs 14 and 15) with real DFN key draws.
+func RAAOnSecurityRBSG(d Device, p SRBSGParams, seed uint64) (Estimate, error) {
+	s, err := NewRAASim(d, p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return s.Run(seed), nil
 }
 
 // RAAOnSecurityRBSGAvg averages RAAOnSecurityRBSG over `runs` seeds —
 // matching the paper's five-trial averaging. The trials are independent
-// Monte-Carlo simulations, so they run on parallel goroutines; results
-// are accumulated in trial order, keeping the average bit-for-bit
-// deterministic for a given seed.
+// Monte-Carlo simulations, so they spread over parallel workers (at
+// most GOMAXPROCS), each worker reusing one RAASim's preallocated
+// arrays across its share of the trials; results are accumulated in
+// trial order, keeping the average bit-for-bit deterministic for a
+// given seed regardless of worker count.
 func RAAOnSecurityRBSGAvg(d Device, p SRBSGParams, runs int, seed uint64) (Estimate, error) {
 	if runs <= 0 {
 		runs = 5
 	}
+	workers := runs
+	if n := runtime.GOMAXPROCS(0); workers > n {
+		workers = n
+	}
 	ests := make([]Estimate, runs)
 	errs := make([]error, runs)
 	var wg sync.WaitGroup
-	for i := 0; i < runs; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(w int) {
 			defer wg.Done()
-			ests[i], errs[i] = RAAOnSecurityRBSG(d, p, seed+uint64(i)*0x9e37)
-		}(i)
+			var sim *RAASim
+			for i := w; i < runs; i += workers {
+				if sim == nil {
+					var err error
+					if sim, err = NewRAASim(d, p); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+				ests[i] = sim.Run(seed + uint64(i)*0x9e37)
+			}
+		}(w)
 	}
 	wg.Wait()
 	var acc Estimate

@@ -1,7 +1,7 @@
 package memserver
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"securityrbsg/internal/detector"
@@ -24,10 +24,13 @@ type opResult struct {
 }
 
 // bankReq is one queue entry: a run of ops for a single bank, executed
-// in order, answered on reply.
+// in order, answered on reply. The ops slice stays owned by the sender;
+// the actor reads it but never retains or recycles it. The reply buffer
+// travels the other way: allocated by the actor from the pool, freed by
+// the receiver.
 type bankReq struct {
 	ops   []op
-	reply chan<- []opResult
+	reply chan<- *resBuf
 }
 
 // BankSnapshot is the immutable telemetry record an actor publishes.
@@ -58,6 +61,7 @@ type actor struct {
 
 	setWrites   uint64 // actor-private running split
 	resetWrites uint64
+	wearScratch []uint32      // publish-time sort buffer, actor-private
 	rejected    atomic.Uint64 // written by submitters, not the actor
 	snap        atomic.Pointer[BankSnapshot]
 }
@@ -81,7 +85,8 @@ func (a *actor) run() {
 	defer a.publish()
 	var sinceSnap uint64
 	for req := range a.ch {
-		res := make([]opResult, len(req.ops))
+		rb := getResBuf(len(req.ops))
+		res := rb.res
 		for i, o := range req.ops {
 			if o.read {
 				c, ns := a.ctrl.Read(o.local)
@@ -96,7 +101,11 @@ func (a *actor) run() {
 				}
 			}
 		}
-		req.reply <- res
+		if req.reply != nil {
+			req.reply <- rb
+		} else {
+			putResBuf(rb)
+		}
 		sinceSnap += uint64(len(req.ops))
 		if sinceSnap >= a.snapEvery {
 			a.publish()
@@ -122,21 +131,26 @@ func (a *actor) publish() {
 			}
 		}
 	}
-	s.WearP50, s.WearP90, s.WearP99 = wearPercentiles(a.ctrl.Bank().WearCounts())
+	s.WearP50, s.WearP90, s.WearP99 = a.wearPercentiles(a.ctrl.Bank().WearCounts())
 	a.snap.Store(s)
 }
 
 // Snapshot returns the latest published telemetry (never nil).
 func (a *actor) Snapshot() *BankSnapshot { return a.snap.Load() }
 
-// wearPercentiles summarizes a wear array without mutating it.
-func wearPercentiles(wear []uint32) (p50, p90, p99 uint64) {
+// wearPercentiles summarizes a wear array without mutating it. The sort
+// runs on a scratch copy owned by the actor goroutine (publish is only
+// ever called from it), so steady-state snapshots allocate nothing.
+func (a *actor) wearPercentiles(wear []uint32) (p50, p90, p99 uint64) {
 	if len(wear) == 0 {
 		return 0, 0, 0
 	}
-	sorted := make([]uint32, len(wear))
+	if cap(a.wearScratch) < len(wear) {
+		a.wearScratch = make([]uint32, len(wear))
+	}
+	sorted := a.wearScratch[:len(wear)]
 	copy(sorted, wear)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	at := func(q float64) uint64 {
 		i := int(q * float64(len(sorted)-1))
 		return uint64(sorted[i])

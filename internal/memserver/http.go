@@ -1,9 +1,12 @@
 package memserver
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"securityrbsg/internal/pcm"
 )
@@ -108,12 +111,69 @@ func (s *Server) submitErr(w http.ResponseWriter, err error) {
 	}
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+// decodeInto reads the whole body into the caller's pooled buffer and
+// unmarshals from its bytes, so the hot endpoints pay no per-request
+// decoder or read-buffer allocations (json.Unmarshal reuses slice
+// capacity already present in v, e.g. BatchRequest.Ops).
+func (s *Server) decodeInto(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, v any) bool {
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
+}
+
+// writeRaw sends a pre-encoded JSON body.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// The hot-path responses are appended by hand into pooled buffers —
+// byte-for-byte what encoding/json would emit for the response structs
+// (including []uint8 as base64 and the encoder's trailing newline), so
+// any stdlib-JSON client decodes them unchanged, without the marshal
+// machinery's per-request allocations.
+
+func appendWriteResponse(b []byte, ns uint64) []byte {
+	b = append(b, `{"ns":`...)
+	b = strconv.AppendUint(b, ns, 10)
+	return append(b, "}\n"...)
+}
+
+func appendReadResponse(b []byte, ns uint64, data uint8) []byte {
+	b = append(b, `{"ns":`...)
+	b = strconv.AppendUint(b, ns, 10)
+	b = append(b, `,"d":`...)
+	b = strconv.AppendUint(b, uint64(data), 10)
+	return append(b, "}\n"...)
+}
+
+func appendBatchResponse(b []byte, r *BatchResponse) []byte {
+	b = append(b, `{"applied":`...)
+	b = strconv.AppendInt(b, int64(r.Applied), 10)
+	b = append(b, `,"rejected":`...)
+	b = strconv.AppendInt(b, int64(r.Rejected), 10)
+	b = append(b, `,"ns_sum":`...)
+	b = strconv.AppendUint(b, r.NsSum, 10)
+	b = append(b, `,"ns_max":`...)
+	b = strconv.AppendUint(b, r.NsMax, 10)
+	b = append(b, `,"ns":[`...)
+	for i, v := range r.Ns {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, v, 10)
+	}
+	b = append(b, `],"d":"`...)
+	b = base64.StdEncoding.AppendEncode(b, r.Data)
+	return append(b, "\"}\n"...)
 }
 
 func (s *Server) checkOp(w http.ResponseWriter, line uint64, data uint8) bool {
@@ -129,73 +189,88 @@ func (s *Server) checkOp(w http.ResponseWriter, line uint64, data uint8) bool {
 }
 
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	sc := opScratchPool.Get().(*opScratch)
+	defer opScratchPool.Put(sc)
 	var req WriteRequest
-	if !s.decode(w, r, &req) || !s.checkOp(w, req.Line, req.Data) {
+	if !s.decodeInto(w, r, &sc.body, &req) || !s.checkOp(w, req.Line, req.Data) {
 		return
 	}
 	bank, local := s.mem.Route(req.Line)
-	res, err := s.submit(bank, []op{{local: local, content: pcm.Content(req.Data)}})
+	sc.ops[0] = op{local: local, content: pcm.Content(req.Data)}
+	rb, err := s.submit(bank, sc.ops[:1])
 	if err != nil {
 		s.submitErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, WriteResponse{Ns: res[0].ns})
+	ns := rb.res[0].ns
+	putResBuf(rb)
+	sc.out = appendWriteResponse(sc.out[:0], ns)
+	writeRaw(w, http.StatusOK, sc.out)
 }
 
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	sc := opScratchPool.Get().(*opScratch)
+	defer opScratchPool.Put(sc)
 	var req ReadRequest
-	if !s.decode(w, r, &req) || !s.checkOp(w, req.Line, 0) {
+	if !s.decodeInto(w, r, &sc.body, &req) || !s.checkOp(w, req.Line, 0) {
 		return
 	}
 	bank, local := s.mem.Route(req.Line)
-	res, err := s.submit(bank, []op{{local: local, read: true}})
+	sc.ops[0] = op{local: local, read: true}
+	rb, err := s.submit(bank, sc.ops[:1])
 	if err != nil {
 		s.submitErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadResponse{Ns: res[0].ns, Data: uint8(res[0].content)})
+	ns, data := rb.res[0].ns, uint8(rb.res[0].content)
+	putResBuf(rb)
+	sc.out = appendReadResponse(sc.out[:0], ns, data)
+	writeRaw(w, http.StatusOK, sc.out)
 }
 
 // handleBatch coalesces the request per bank, enqueues every touched
 // bank without blocking, then collects. Banks run concurrently; a full
 // queue rejects only that bank's share (reported via 429 + counts).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !s.decode(w, r, &req) {
+	sc := getBatchScratch(s.cfg.Banks)
+	defer putBatchScratch(sc)
+	sc.req.Ops = sc.req.Ops[:0]
+	if !s.decodeInto(w, r, &sc.body, &sc.req) {
 		return
 	}
-	if len(req.Ops) == 0 {
+	ops := sc.req.Ops
+	if len(ops) == 0 {
 		writeErr(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	for _, o := range req.Ops {
+	for _, o := range ops {
 		if !s.checkOp(w, o.Line, o.Data) {
 			return
 		}
 	}
 
 	// Coalesce: one op run per touched bank, preserving request order.
-	perBank := make(map[int]*bankRun, s.cfg.Banks)
-	order := make([]*bankRun, 0, s.cfg.Banks)
-	for i, o := range req.Ops {
+	// Runs live in the scratch (indexed by bank); `order` records which
+	// banks this request touched, in first-touch order.
+	for i, o := range ops {
 		bank, local := s.mem.Route(o.Line)
-		run := perBank[bank]
-		if run == nil {
-			run = &bankRun{bank: bank}
-			perBank[bank] = run
-			order = append(order, run)
+		run := &sc.runs[bank]
+		if len(run.idx) == 0 {
+			run.bank = bank
+			sc.order = append(sc.order, bank)
 		}
 		run.ops = append(run.ops, op{local: local, read: o.Read, content: pcm.Content(o.Data)})
 		run.idx = append(run.idx, i)
 	}
 
 	// Phase 1: enqueue everything (non-blocking), phase 2: collect.
-	resp := BatchResponse{
-		Ns:   make([]uint64, len(req.Ops)),
-		Data: make([]uint8, len(req.Ops)),
-	}
+	resp := &sc.resp
+	resp.Applied, resp.Rejected, resp.NsSum, resp.NsMax = 0, 0, 0, 0
+	resp.Ns = resizeZeroed(resp.Ns, len(ops))
+	resp.Data = resizeZeroed(resp.Data, len(ops))
 	draining := false
-	for _, run := range order {
+	for _, b := range sc.order {
+		run := &sc.runs[b]
 		reply, err := s.enqueue(run.bank, run.ops)
 		switch err {
 		case nil:
@@ -207,12 +282,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Rejected += len(run.ops)
 		}
 	}
-	for _, run := range order {
+	for _, b := range sc.order {
+		run := &sc.runs[b]
 		if run.reply == nil {
 			continue
 		}
-		results := <-run.reply
-		for j, res := range results {
+		rb := <-run.reply
+		putReply(run.reply)
+		for j, res := range rb.res {
 			i := run.idx[j]
 			resp.Ns[i] = res.ns
 			resp.Data[i] = uint8(res.content)
@@ -221,26 +298,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				resp.NsMax = res.ns
 			}
 		}
-		resp.Applied += len(results)
+		resp.Applied += len(rb.res)
+		putResBuf(rb)
 	}
 
+	sc.out = appendBatchResponse(sc.out[:0], resp)
 	switch {
 	case resp.Applied == 0 && draining:
 		writeErr(w, http.StatusServiceUnavailable, "server draining")
 	case resp.Rejected > 0:
 		w.Header().Set("Retry-After", retryAfter)
-		writeJSON(w, http.StatusTooManyRequests, resp)
+		writeRaw(w, http.StatusTooManyRequests, sc.out)
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		writeRaw(w, http.StatusOK, sc.out)
 	}
 }
 
+// resizeZeroed returns s with length n and every element zeroed
+// (rejected batch ops must report zero, not a previous request's data).
+func resizeZeroed[T uint8 | uint64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // bankRun is one bank's slice of a batch plus where its results land.
+// Runs are embedded in the pooled batch scratch; the ops/idx backing
+// arrays are reused across requests.
 type bankRun struct {
 	bank  int
 	ops   []op
 	idx   []int
-	reply <-chan []opResult
+	reply chan *resBuf
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

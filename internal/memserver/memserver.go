@@ -241,27 +241,34 @@ var errBusy = fmt.Errorf("memserver: bank queue full")
 
 // submit enqueues ops for one bank and waits for the result. It never
 // blocks on a full queue: the caller gets errBusy to surface as 429.
-func (s *Server) submit(bank int, ops []op) ([]opResult, error) {
+// The returned buffer is owed back to the pool: callers putResBuf it
+// once they have copied out what they need.
+func (s *Server) submit(bank int, ops []op) (*resBuf, error) {
 	p, err := s.enqueue(bank, ops)
 	if err != nil {
 		return nil, err
 	}
-	return <-p, nil
+	rb := <-p
+	putReply(p)
+	return rb, nil
 }
 
 // enqueue is the non-blocking half of submit, used by the batch path to
-// keep all touched banks in flight at once.
-func (s *Server) enqueue(bank int, ops []op) (<-chan []opResult, error) {
+// keep all touched banks in flight at once. The reply channel comes
+// from the pool; the receiver returns it (putReply) after the single
+// answer arrives.
+func (s *Server) enqueue(bank int, ops []op) (chan *resBuf, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
 	a := s.actors[bank]
-	reply := make(chan []opResult, 1)
+	reply := getReply()
 	select {
 	case a.ch <- bankReq{ops: ops, reply: reply}:
 		return reply, nil
 	default:
 		a.rejected.Add(1)
+		putReply(reply)
 		return nil, errBusy
 	}
 }

@@ -86,6 +86,12 @@ func New(cfg Config) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The static randomizer never rekeys, so for table-sized domains a
+	// one-time materialization turns every per-access evaluation —
+	// Feistel stages or a GF(2) matrix-vector product — into one slice
+	// index (see feistel.MaxTableBits; paper-scale banks evaluate
+	// directly).
+	randomizer = feistel.Materialize(randomizer)
 	s := &Scheme{cfg: cfg, randomizer: randomizer, perRegion: cfg.Lines / cfg.Regions}
 	s.regions = make([]*startgap.Region, cfg.Regions)
 	for i := range s.regions {

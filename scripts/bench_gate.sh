@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: re-run the guard benchmarks and compare
+# against the committed baseline. Fails when a guard's ns/op regresses
+# more than 15% (or its allocs/op grows at all).
+#
+# Overrides (documented in DESIGN.md "Performance engineering"):
+#   BENCHGATE_SKIP=1            skip the gate (e.g. known-noisy runner)
+#   BENCHGATE_MAX_REGRESS=0.30  widen the ns/op threshold
+#   BENCH_BASELINE=BENCH_4.json compare against a different baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${BENCHGATE_SKIP:-0}" = "1" ]; then
+    echo "bench-gate: skipped (BENCHGATE_SKIP=1)"
+    exit 0
+fi
+
+baseline="${BENCH_BASELINE:-BENCH_4.json}"
+# The four designated guards (see bench_test.go "perf-gate guard
+# benchmarks"): pure mapping kernel, both per-access paths, and the
+# end-to-end Monte-Carlo kernel. No HTTP layers — the gate measures our
+# code, not the harness.
+guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled'
+regex="^($(echo "$guards" | tr ',' '|'))\$"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$regex" -benchmem \
+    -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-3}" . | tee "$tmp"
+go run ./cmd/benchdiff -baseline "$baseline" -guard "$guards" "$tmp"
