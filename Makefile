@@ -43,7 +43,7 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Re-record the committed benchmark baseline (BENCH_4.json). Run on a
+# Re-record the committed benchmark baseline (BENCH_5.json). Run on a
 # quiet machine; commit the result with an explanation of what moved.
 bench-record:
 	./scripts/bench_record.sh

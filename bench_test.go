@@ -13,12 +13,15 @@ package benches
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"securityrbsg/internal/analytic"
 	"securityrbsg/internal/attack"
 	"securityrbsg/internal/core"
 	"securityrbsg/internal/detector"
+	"securityrbsg/internal/exactsim"
 	"securityrbsg/internal/feistel"
 	"securityrbsg/internal/lifetime"
 	"securityrbsg/internal/pcm"
@@ -331,11 +334,13 @@ func BenchmarkControllerWrite(b *testing.B) {
 
 // --- perf-gate guard benchmarks (see scripts/bench_gate.sh) ---
 //
-// The four benchmarks guarded by the CI regression gate are
+// The six benchmarks guarded by the CI regression gate are
 // BenchmarkFeistelMapTable, BenchmarkTranslateSecurityRBSG,
-// BenchmarkControllerWrite and BenchmarkLifetimeRAAScaled — the pure
-// mapping kernel, both ends of the per-access path, and the end-to-end
-// Monte-Carlo kernel. They avoid HTTP/network layers so the gate
+// BenchmarkControllerWrite, BenchmarkLifetimeRAAScaled,
+// BenchmarkBankWriteN and BenchmarkExactEpochFastForward — the pure
+// mapping kernel, both ends of the per-access path, the end-to-end
+// Monte-Carlo kernel, and the exact tier's bulk-write and epoch
+// fast-forward kernels. They avoid HTTP/network layers so the gate
 // measures our code, not the harness.
 
 // BenchmarkFeistelMapDirect evaluates the 7-stage cube-function Feistel
@@ -389,6 +394,95 @@ func BenchmarkLifetimeRAAScaled(b *testing.B) {
 		frac = sim.Run(uint64(i) + 42).FractionOfIdeal
 	}
 	b.ReportMetric(frac*100, "pct_of_ideal")
+}
+
+// BenchmarkBankWriteN measures the bulk demand-write kernel the exact
+// tier batches pinned write streams through: each op applies 1000
+// writes to one line — clock, wear and first-failure accounting exact —
+// in O(1). A regression here means WriteN lost its constant-time path.
+func BenchmarkBankWriteN(b *testing.B) {
+	bank := pcm.MustNewBank(pcm.Config{
+		Lines: 1 << 10, LineBytes: 256, Endurance: 1 << 40, Timing: pcm.DefaultTiming,
+	})
+	for i := 0; i < b.N; i++ {
+		bank.WriteN(uint64(i)&(1<<10-1), pcm.Mixed, 1000)
+	}
+	b.ReportMetric(1000*float64(b.N)/b.Elapsed().Seconds(), "line_writes_per_sec")
+}
+
+// exactEpochTarget is a plain attack.Target wrapper hiding the batch
+// capabilities, so the naive reference below takes the write-by-write
+// paths everywhere.
+type exactEpochTarget struct{ c *wear.Controller }
+
+func (t exactEpochTarget) Write(la uint64, content pcm.Content) uint64 {
+	return t.c.Write(la, content)
+}
+func (t exactEpochTarget) Read(la uint64) (pcm.Content, uint64) { return t.c.Read(la) }
+
+// exactEpochRun executes the full RTA against RBSG at 2^18 lines —
+// alignment, sequence recovery, wear-out to device failure.
+func exactEpochRun(b *testing.B, fast bool) attack.Result {
+	b.Helper()
+	const lines, regions, interval, endurance = 1 << 18, 32, 100, 10_000_000
+	s := rbsg.MustNew(rbsg.Config{Lines: lines, Regions: regions, Interval: interval, Seed: 42})
+	c := wear.MustNewController(pcm.Config{
+		LineBytes: 256, Endurance: endurance, Timing: pcm.DefaultTiming,
+	}, s)
+	var target attack.Target = exactEpochTarget{c}
+	if fast {
+		target = exactsim.NewFastTarget(c, 0)
+	}
+	// n_seq = ceil(E/((n+1)·ψ)) plus one spare predecessor, as in
+	// cmd/lifetime -exact.
+	per := uint64(lines / regions)
+	seqLen := (endurance+(per+1)*interval-1)/((per+1)*interval) + 1
+	a := &attack.RTARBSG{
+		Target: target, Lines: lines, Regions: regions, Interval: interval,
+		Li: 17, SeqLen: seqLen,
+		Oracle: func() bool { return c.Bank().Failed() },
+	}
+	res, err := a.Run()
+	if err != nil || !res.Failed {
+		b.Fatalf("attack failed: %v", err)
+	}
+	return res
+}
+
+// exactEpochNaive memoizes the naive reference, which is too slow to
+// rerun per benchmark invocation.
+var exactEpochNaive struct {
+	once   sync.Once
+	secs   float64
+	writes uint64
+}
+
+// BenchmarkExactEpochFastForward is the exact tier's headline guard: the
+// complete RTA-on-RBSG at 2^18 lines through the acceleration layer
+// (parallel sweep kernels + batched hammer epochs), with the naive
+// write-by-write run measured once as the reference. The PR's
+// acceptance floor is speedup_vs_naive >= 5; identical attacker write
+// counts double-check exactness (the differential suite in
+// internal/exactsim proves full bit-identity).
+func BenchmarkExactEpochFastForward(b *testing.B) {
+	exactEpochNaive.once.Do(func() {
+		start := time.Now()
+		res := exactEpochRun(b, false)
+		exactEpochNaive.secs = time.Since(start).Seconds()
+		exactEpochNaive.writes = res.Writes
+	})
+	b.ResetTimer()
+	var res attack.Result
+	for i := 0; i < b.N; i++ {
+		res = exactEpochRun(b, true)
+	}
+	if res.Writes != exactEpochNaive.writes {
+		b.Fatalf("fast attack issued %d writes, naive %d: exactness broken",
+			res.Writes, exactEpochNaive.writes)
+	}
+	fastSecs := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(exactEpochNaive.secs/fastSecs, "speedup_vs_naive")
+	b.ReportMetric(float64(res.Writes), "attacker_writes")
 }
 
 // --- ablations: the design choices DESIGN.md calls out ---

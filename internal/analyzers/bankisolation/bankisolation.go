@@ -61,6 +61,7 @@ var statePkgs = map[string]bool{
 	"securityrbsg/internal/stats":    true,
 	"securityrbsg/internal/workload": true,
 	"securityrbsg/internal/attack":   true,
+	"securityrbsg/internal/exactsim": true,
 }
 
 // parallelPkg is the goroutine-spawning helper package: function

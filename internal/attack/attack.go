@@ -31,6 +31,33 @@ type Target interface {
 	Read(la uint64) (pcm.Content, uint64)
 }
 
+// BatchTarget is an optional Target capability for the exact-simulation
+// fast path (wear.Controller and exactsim.FastTarget implement it): issue
+// a run of identical writes to one address in bulk, bit-identical to n
+// single writes. onEvent fires for every write whose observed latency
+// differs from an unremarkable write's — exactly the anomalies the RTA
+// watches — so batching loses nothing of the side channel. Attacks that
+// detect this capability evaluate their Oracle and MaxWrites budget at
+// batch boundaries instead of before every write; the batch helpers
+// below keep that exact for the device-failure oracle (the only oracle
+// the repo's experiments use) via stopOnFail.
+type BatchTarget interface {
+	Target
+	WriteRun(la uint64, content pcm.Content, n uint64, stopOnFail bool, onEvent func(i, ns uint64) bool) (issued, totalNs uint64)
+}
+
+// SweepTarget is an optional Target capability: execute one full
+// SweepPattern (bit ≥ 0) or SweepZeros (bit < 0) pass over the logical
+// space at once, returning the demand writes issued and the attacker-
+// observed time. ok is false when the target cannot prove the batched
+// sweep is bit-identical to the naive loop (e.g. a line could fail
+// mid-sweep, perturbing failure-time accounting) — the caller must then
+// run the write-by-write loop itself; nothing was issued.
+type SweepTarget interface {
+	Target
+	Sweep(bit int) (writes, ns uint64, ok bool)
+}
+
 // Result summarizes an attack run.
 type Result struct {
 	// Writes is the number of demand writes the attacker issued.
@@ -75,14 +102,29 @@ func (r *runState) write(la uint64, c pcm.Content) uint64 {
 	return ns
 }
 
+// raaChunk bounds one WriteRun call in the unbounded-budget case so the
+// stop condition is still re-evaluated periodically.
+const raaChunk = 1 << 22
+
 // RAA runs the Repeated Address Attack: write content to la until a line
 // fails or maxWrites demand writes have been issued (0 = unbounded). The
 // paper's generic attacker writes ordinary data, so content defaults to
 // Mixed when the zero value is not what you want — pass explicitly.
+//
+// The hammer is issued through Controller.WriteRun, which truncates the
+// batch exactly at the bank's first failure, so the result (writes,
+// observed time, wear state) is bit-identical to the write-by-write loop
+// at a fraction of the cost when the scheme supports fast-forwarding.
 func RAA(c *wear.Controller, la uint64, content pcm.Content, maxWrites uint64) Result {
 	r := runState{target: c, failed: failOracle(c), max: maxWrites}
 	for !r.done() {
-		r.write(la, content)
+		n := uint64(raaChunk)
+		if maxWrites > 0 {
+			n = maxWrites - r.res.Writes
+		}
+		issued, ns := c.WriteRun(la, content, n, true, nil)
+		r.res.Writes += issued
+		r.res.AttackNs += ns
 	}
 	return r.res
 }
@@ -101,9 +143,16 @@ func BPA(c *wear.Controller, hammerWrites uint64, content pcm.Content, seed, max
 	r := runState{target: c, failed: failOracle(c), max: maxWrites}
 	for !r.done() {
 		la := rng.Uint64n(n)
-		for i := uint64(0); i < hammerWrites && !r.done(); i++ {
-			r.write(la, content)
+		// One hammer stint through WriteRun (exact: truncates at first
+		// failure and at the budget, like the per-write loop it replaces).
+		// The RNG draw sequence is unchanged: one draw per stint.
+		stint := hammerWrites
+		if maxWrites > 0 && maxWrites-r.res.Writes < stint {
+			stint = maxWrites - r.res.Writes
 		}
+		issued, ns := c.WriteRun(la, content, stint, true, nil)
+		r.res.Writes += issued
+		r.res.AttackNs += ns
 	}
 	return r.res
 }

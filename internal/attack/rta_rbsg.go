@@ -157,6 +157,105 @@ func (a *RTARBSG) tickRegion() (moved bool, srcSlot uint64) {
 	return true, a.shadowMove()
 }
 
+// tickN advances the shadow by k region writes at once, where at most the
+// k-th can reach the interval (k ≤ Interval − cnt) — the O(1) equivalent
+// of k tickRegion calls within one inter-movement epoch.
+func (a *RTARBSG) tickN(k uint64) (moved bool, srcSlot uint64) {
+	a.cnt += k
+	if a.cnt < a.Interval {
+		return false, 0
+	}
+	if a.cnt > a.Interval {
+		panic(fmt.Errorf("attack: tickN(%d) crossed a shadow movement", k))
+	}
+	a.cnt = 0
+	return true, a.shadowMove()
+}
+
+// writeN issues k consecutive writes of c to la (1 ≤ k ≤ the writes
+// remaining until the next shadow movement, so only the k-th write can
+// carry a movement) and advances the shadow in lock-step. It returns the
+// last write's extra latency and the movement it fired, if any.
+//
+// When the target implements BatchTarget the run is batched and the
+// Oracle/MaxWrites checks the naive loop makes before every write happen
+// at batch boundaries instead. This is exact for the device-failure
+// oracle: WriteRun's stopOnFail truncates the batch immediately after the
+// bank's first failure — precisely the write after which the naive loop's
+// next precheck would have stopped — and the budget clamp truncates at
+// the same write the per-write budget check would. Other oracles observe
+// batch-boundary granularity (documented on RTARBSG.Oracle).
+func (a *RTARBSG) writeN(la uint64, c pcm.Content, k uint64) (extra uint64, moved bool, srcSlot uint64, err error) {
+	bt, batched := a.Target.(BatchTarget)
+	if !batched || k < 2 {
+		for j := uint64(0); j < k; j++ {
+			e, werr := a.write(la, c)
+			if werr != nil {
+				return 0, false, 0, werr
+			}
+			extra = e
+			if m, s := a.tickRegion(); m {
+				moved, srcSlot = true, s
+			}
+		}
+		return extra, moved, srcSlot, nil
+	}
+	if a.Oracle != nil && a.Oracle() {
+		a.res.Failed = true
+		return 0, false, 0, errStopped
+	}
+	want := k
+	if a.MaxWrites > 0 {
+		if a.res.Writes >= a.MaxWrites {
+			return 0, false, 0, errStopped
+		}
+		if rem := a.MaxWrites - a.res.Writes; want > rem {
+			want = rem
+		}
+	}
+	var issued uint64
+	for issued < want {
+		// The naive loop's extra is the LAST write's extra latency — not
+		// that of any anomalous write mid-run (against schemes whose real
+		// movements the attack's shadow mispredicts, those differ). Track
+		// events by index and keep one only if it landed on the run's
+		// final write.
+		var evIdx, evNs uint64
+		sawEvent := false
+		got, ns := bt.WriteRun(la, c, want-issued, a.Oracle != nil, func(i, ns uint64) bool {
+			evIdx, evNs, sawEvent = i, ns, true
+			return true
+		})
+		issued += got
+		a.res.Writes += got
+		a.res.AttackNs += ns
+		extra = 0
+		if sawEvent && evIdx == got-1 {
+			extra = evNs - a.Timing.WriteNs(c)
+		}
+		if issued == want {
+			break
+		}
+		// stopOnFail truncated the run at the bank's first failure; the
+		// naive loop's next per-write precheck would now observe it.
+		if a.Oracle() {
+			a.res.Failed = true
+			err = errStopped
+			break
+		}
+		// The oracle does not consider the failure fatal: resume the
+		// batch (a bank first-fails at most once, so stopOnFail cannot
+		// truncate again).
+	}
+	if m, s := a.tickN(issued); m {
+		moved, srcSlot = true, s
+	}
+	if err == nil && issued < k {
+		err = errStopped // budget exhausted mid-epoch, like the naive precheck
+	}
+	return extra, moved, srcSlot, err
+}
+
 // shadowMove mirrors startgap.Region.MoveGap on the shadow registers and
 // the relative-offset map.
 func (a *RTARBSG) shadowMove() (srcSlot uint64) {
@@ -183,6 +282,27 @@ func (a *RTARBSG) shadowMove() (srcSlot uint64) {
 // writes into every region). Movement latencies during the sweep are not
 // attributable to a region, so the shadow only advances; no bits are read.
 func (a *RTARBSG) sweep(bit int) error {
+	// Batched path: a SweepTarget executes the whole pass at once (e.g.
+	// exactsim's parallel sub-region kernel). Only taken when the budget
+	// covers the full sweep — otherwise the naive loop must truncate
+	// mid-pass — and the Oracle check moves to the sweep boundary, which
+	// is exact for the device-failure oracle because the target declines
+	// (ok=false) whenever a line could fail mid-sweep.
+	if st, ok := a.Target.(SweepTarget); ok &&
+		(a.MaxWrites == 0 || a.res.Writes+a.Lines <= a.MaxWrites) {
+		if a.Oracle != nil && a.Oracle() {
+			a.res.Failed = true
+			return errStopped
+		}
+		if w, ns, done := st.Sweep(bit); done {
+			a.res.Writes += w
+			a.res.AttackNs += ns
+			for i := uint64(0); i < a.n; i++ {
+				a.tickRegion()
+			}
+			return nil
+		}
+	}
 	for la := uint64(0); la < a.Lines; la++ {
 		c := pcm.Zeros
 		if bit >= 0 && la>>uint(bit)&1 == 1 {
@@ -206,12 +326,18 @@ func (a *RTARBSG) align() error {
 	// Steps 2–3: hammer Li with ALL-1 until a movement costs read+SET.
 	setMove := a.Timing.ReadNs + a.Timing.SetNs
 	deadline := 2 * (a.n + 1) * a.Interval // two full rotations must see Li
-	for i := uint64(0); i < deadline; i++ {
-		extra, err := a.write(a.Li, pcm.Ones)
+	for i := uint64(0); i < deadline; {
+		// One inter-movement epoch per iteration: only the k-th write can
+		// fire a movement, so the whole epoch batches into one writeN.
+		k := a.Interval - a.cnt
+		if k > deadline-i {
+			k = deadline - i
+		}
+		extra, moved, src, err := a.writeN(a.Li, pcm.Ones, k)
 		if err != nil {
 			return err
 		}
-		moved, src := a.tickRegion()
+		i += k
 		if !moved {
 			continue
 		}
@@ -280,12 +406,16 @@ func (a *RTARBSG) detectSequence() error {
 		need := a.SeqLen
 		seen := uint64(0)
 		deadline := 2 * (a.n + 1) * a.Interval
-		for w := uint64(0); w < deadline && seen < need; w++ {
-			extra, err := a.write(a.Li, liContent)
+		for w := uint64(0); w < deadline && seen < need; {
+			k := a.Interval - a.cnt
+			if k > deadline-w {
+				k = deadline - w
+			}
+			extra, moved, src, err := a.writeN(a.Li, liContent, k)
 			if err != nil {
 				return err
 			}
-			moved, src := a.tickRegion()
+			w += k
 			if !moved {
 				continue
 			}
@@ -296,19 +426,19 @@ func (a *RTARBSG) detectSequence() error {
 			if src == a.n {
 				dst = 0
 			}
-			k := a.rel[dst]
-			if k <= 0 || uint64(k) > a.SeqLen {
+			off := a.rel[dst]
+			if off <= 0 || uint64(off) > a.SeqLen {
 				continue // Li itself, an unknown slot, or beyond the needed sequence
 			}
-			if a.seqKnown[k]>>j&1 == 1 {
+			if a.seqKnown[off]>>j&1 == 1 {
 				continue // already read this bit on a previous rotation
 			}
 			bit := uint64(0)
 			if extra >= setMove {
 				bit = 1
 			}
-			a.seqBits[k] |= bit << j
-			a.seqKnown[k] |= 1 << j
+			a.seqBits[off] |= bit << j
+			a.seqKnown[off] |= 1 << j
 			seen++
 		}
 		if seen < need {
@@ -371,10 +501,11 @@ func (a *RTARBSG) wearOut() error {
 		default:
 			return fmt.Errorf("attack: recovered sequence exhausted (need offset %d, have %d)", k, a.SeqLen)
 		}
-		if _, err := a.write(la, a.WearContent); err != nil {
+		// la is frozen until the next shadow movement (rel only changes at
+		// movements), so the rest of the epoch batches into one writeN.
+		if _, _, _, err := a.writeN(la, a.WearContent, a.Interval-a.cnt); err != nil {
 			return err
 		}
-		a.tickRegion()
 	}
 }
 

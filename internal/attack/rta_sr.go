@@ -107,9 +107,18 @@ func (a *RTASR) write(la uint64, c pcm.Content) (extraNs uint64, err error) {
 // advance). newRound reports that the step began a fresh round (keys
 // rotated just before processing address 0).
 func (a *RTASR) tick() (stepped bool, la uint64, newRound bool) {
-	a.cnt++
+	return a.tickN(1)
+}
+
+// tickN advances the shadow by k writes at once, where at most the k-th
+// can reach the interval (k ≤ Interval − cnt).
+func (a *RTASR) tickN(k uint64) (stepped bool, la uint64, newRound bool) {
+	a.cnt += k
 	if a.cnt < a.Interval {
 		return false, 0, false
+	}
+	if a.cnt > a.Interval {
+		panic(fmt.Errorf("attack: tickN(%d) crossed a refresh step", k))
 	}
 	a.cnt = 0
 	if a.crp == a.Lines {
@@ -121,6 +130,72 @@ func (a *RTASR) tick() (stepped bool, la uint64, newRound bool) {
 	la = a.crp
 	a.crp++
 	return true, la, newRound
+}
+
+// writeN issues k consecutive writes of c to la (1 ≤ k ≤ Interval − cnt,
+// so only the k-th write can carry a refresh step) and advances the
+// shadow in lock-step, returning the last write's extra latency and the
+// step it fired, if any. Batch-boundary Oracle/budget semantics are the
+// same as RTARBSG.writeN's (exact for the device-failure oracle).
+func (a *RTASR) writeN(la uint64, c pcm.Content, k uint64) (extra uint64, stepped bool, stepLA uint64, newRound bool, err error) {
+	bt, batched := a.Target.(BatchTarget)
+	if !batched || k < 2 {
+		for j := uint64(0); j < k; j++ {
+			e, werr := a.write(la, c)
+			if werr != nil {
+				return 0, false, 0, false, werr
+			}
+			extra = e
+			if s, sla, nr := a.tick(); s {
+				stepped, stepLA, newRound = true, sla, nr
+			}
+		}
+		return extra, stepped, stepLA, newRound, nil
+	}
+	if a.Oracle != nil && a.Oracle() {
+		a.res.Failed = true
+		return 0, false, 0, false, errStopped
+	}
+	want := k
+	if a.MaxWrites > 0 {
+		if a.res.Writes >= a.MaxWrites {
+			return 0, false, 0, false, errStopped
+		}
+		if rem := a.MaxWrites - a.res.Writes; want > rem {
+			want = rem
+		}
+	}
+	var issued uint64
+	for issued < want {
+		// Keep only an anomaly that landed on the run's final write: the
+		// naive loop reads the LAST write's extra, not a mid-run one.
+		var evIdx, evNs uint64
+		sawEvent := false
+		got, ns := bt.WriteRun(la, c, want-issued, a.Oracle != nil, func(i, ns uint64) bool {
+			evIdx, evNs, sawEvent = i, ns, true
+			return true
+		})
+		issued += got
+		a.res.Writes += got
+		a.res.AttackNs += ns
+		extra = 0
+		if sawEvent && evIdx == got-1 {
+			extra = evNs - a.Timing.WriteNs(c)
+		}
+		if issued == want {
+			break
+		}
+		if a.Oracle() {
+			a.res.Failed = true
+			err = errStopped
+			break
+		}
+	}
+	stepped, stepLA, newRound = a.tickN(issued)
+	if err == nil && issued < k {
+		err = errStopped // budget exhausted, like the naive precheck
+	}
+	return extra, stepped, stepLA, newRound, err
 }
 
 // align is Steps 1–2: zero everything, then hammer address 0 with ALL-1
@@ -135,12 +210,18 @@ func (a *RTASR) align() error {
 	}
 	swapWithOnes := 2*a.Timing.ReadNs + a.Timing.SetNs + a.Timing.ResetNs
 	deadline := 3 * a.Lines * a.Interval
-	for i := uint64(0); i < deadline; i++ {
-		extra, err := a.write(0, pcm.Ones)
+	for i := uint64(0); i < deadline; {
+		// One inter-step epoch per iteration: only the k-th write can
+		// fire a refresh step, so the epoch batches into one writeN.
+		k := a.Interval - a.cnt
+		if k > deadline-i {
+			k = deadline - i
+		}
+		extra, stepped, la, _, err := a.writeN(0, pcm.Ones, k)
 		if err != nil {
 			return err
 		}
-		stepped, la, _ := a.tick()
+		i += k
 		if !stepped {
 			continue
 		}
@@ -178,13 +259,14 @@ func (a *RTASR) detectD() error {
 			}
 		}
 		// Step 4: hammer address 0 (pattern ALL-0) until a step swaps.
+		// classified only changes on stepped writes, which batch to the
+		// end of each inter-step epoch.
 		classified := false
 		for !classified {
-			extra, err := a.write(0, pcm.Zeros)
+			extra, stepped, _, nr, err := a.writeN(0, pcm.Zeros, a.Interval-a.cnt)
 			if err != nil {
 				return err
 			}
-			stepped, _, nr := a.tick()
 			if nr {
 				return errRoundEnded
 			}
@@ -240,12 +322,14 @@ func (a *RTASR) wearLoop() error {
 		ended := false
 		if pair != occ {
 			// Hammer occ until the swap step passes (it may already have
-			// passed if detection consumed steps beyond it).
+			// passed if detection consumed steps beyond it). The shadow CRP
+			// only changes on stepped writes, so each epoch batches whole.
 			for a.crp <= swapAt {
-				if _, err := a.write(occ, pcm.Ones); err != nil {
+				_, _, _, nr, err := a.writeN(occ, pcm.Ones, a.Interval-a.cnt)
+				if err != nil {
 					return err
 				}
-				if _, _, nr := a.tick(); nr {
+				if nr {
 					ended = true
 					break
 				}
@@ -258,12 +342,11 @@ func (a *RTASR) wearLoop() error {
 		// swapped at most once per round, so it stays on the pinned
 		// physical line.
 		for !ended {
-			if _, err := a.write(occ, pcm.Ones); err != nil {
+			_, _, _, nr, err := a.writeN(occ, pcm.Ones, a.Interval-a.cnt)
+			if err != nil {
 				return err
 			}
-			if _, _, nr := a.tick(); nr {
-				ended = true
-			}
+			ended = nr
 		}
 		// Round rolled over: recover the fresh D, then continue on the
 		// same physical line (its occupant is unchanged at round start).
@@ -374,14 +457,28 @@ func (a *RTATwoLevelSR) Run() (Result, error) {
 		var hammered uint64
 		for hammered+spent < outerRound && !done() {
 			la := nextRegionLA()
-			for w := uint64(0); w < stint && !done(); w++ {
+			for w := uint64(0); w < stint && !done(); {
 				if a.Scheme.Intermediate(la)/n != a.TargetRegion {
 					break
 				}
-				ns := a.Controller.Write(la, pcm.Ones)
-				a.res.Writes++
+				// Intermediate(la) is frozen until the next outer step, so
+				// the stint batches in outer-epoch chunks through WriteRun
+				// (stopOnFail keeps the failure-time accounting exact; the
+				// budget clamp mirrors the per-write done() check).
+				k := a.Scheme.WritesToNextOuterStep()
+				if rem := stint - w; k > rem {
+					k = rem
+				}
+				if a.MaxWrites > 0 {
+					if rem := a.MaxWrites - a.res.Writes; k > rem {
+						k = rem
+					}
+				}
+				issued, ns := a.Controller.WriteRun(la, pcm.Ones, k, true, nil)
+				a.res.Writes += issued
 				a.res.AttackNs += ns
-				hammered++
+				hammered += issued
+				w += issued
 			}
 		}
 		a.HammerWrites += hammered

@@ -162,6 +162,69 @@ func (a *RTATwoLevelSRExact) write(la uint64, c pcm.Content) (extra uint64, step
 	return extra, stepped, stepLA, nil
 }
 
+// writeN issues k consecutive writes of c to la (1 ≤ k ≤ OuterInterval −
+// cnt, so only the k-th write can carry an outer step) and advances the
+// outer shadow in lock-step. Batch-boundary Oracle/budget semantics are
+// as in RTARBSG.writeN — exact for the device-failure oracle. Extra
+// latencies are not reported: its only caller (the flood phase) never
+// inspects them; the detection phases, which do, stay write-by-write.
+func (a *RTATwoLevelSRExact) writeN(la uint64, c pcm.Content, k uint64) error {
+	bt, batched := a.Target.(BatchTarget)
+	if !batched || k < 2 {
+		for j := uint64(0); j < k; j++ {
+			if _, _, _, err := a.write(la, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if a.Oracle != nil && a.Oracle() {
+		a.res.Failed = true
+		return errStopped
+	}
+	want := k
+	if a.MaxWrites > 0 {
+		if a.res.Writes >= a.MaxWrites {
+			return errStopped
+		}
+		if rem := a.MaxWrites - a.res.Writes; want > rem {
+			want = rem
+		}
+	}
+	var issued uint64
+	var err error
+	for issued < want {
+		got, ns := bt.WriteRun(la, c, want-issued, a.Oracle != nil, nil)
+		issued += got
+		a.res.Writes += got
+		a.res.AttackNs += ns
+		if issued == want {
+			break
+		}
+		if a.Oracle() {
+			a.res.Failed = true
+			err = errStopped
+			break
+		}
+	}
+	a.cnt += issued
+	if a.cnt >= a.OuterInterval {
+		if a.cnt > a.OuterInterval {
+			panic(fmt.Errorf("attack: writeN(%d) crossed an outer step", k))
+		}
+		a.cnt = 0
+		if a.crp == a.Lines {
+			a.crp = 0
+			a.roundsSeen++
+		}
+		a.crp++
+	}
+	if err == nil && issued < k {
+		err = errStopped // budget exhausted, like the naive precheck
+	}
+	return err
+}
+
 // detectRoundHighD waits for the round boundary, then recovers the high
 // log2(R) bits of this round's D by pattern sweeps and majority-voted
 // outer-swap latencies.
@@ -334,10 +397,17 @@ func (a *RTATwoLevelSRExact) floodUntilRoundEnd(group uint64) error {
 	stint := a.n * a.InnerInterval
 	for i := uint64(0); ; i++ {
 		la := group<<a.lowBits | (i % a.n)
-		for w := uint64(0); w < stint; w++ {
-			if _, _, _, err := a.write(la, pcm.Ones); err != nil {
+		// The shadow CRP only changes on outer steps, which batch to the
+		// end of each outer epoch; check the round boundary there.
+		for w := uint64(0); w < stint; {
+			k := a.OuterInterval - a.cnt
+			if rem := stint - w; k > rem {
+				k = rem
+			}
+			if err := a.writeN(la, pcm.Ones, k); err != nil {
 				return err
 			}
+			w += k
 			if a.crp == a.Lines {
 				return nil // round complete: re-detect before continuing
 			}

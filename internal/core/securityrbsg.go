@@ -375,6 +375,41 @@ func (s *Scheme) NoteWrite(la uint64, m wear.Mover) uint64 {
 	return ns
 }
 
+// WritesToNextRemap implements wear.FastForwarder: of the next k writes
+// to la, exactly the k-th is the first that can trigger movements —
+// whichever fires first of la's inner sub-region's Start-Gap interval and
+// the outer DFN interval (which every bank write ticks). Both mappings
+// are frozen until that write, so k is exact. Writes parked in the outer
+// spare (IA == Lines, MigrationMove mid-cycle) tick only the outer
+// counter, mirroring NoteWrite.
+func (s *Scheme) WritesToNextRemap(la uint64) uint64 {
+	outer := s.cfg.OuterInterval - s.writeCount
+	ia := s.Intermediate(la)
+	if ia == s.cfg.Lines {
+		return outer
+	}
+	inner := s.regions[ia/s.perRegion].WritesToNextMove()
+	if outer < inner {
+		return outer
+	}
+	return inner
+}
+
+// SkipWrites implements wear.FastForwarder: book k movement-free writes
+// to la against the inner region and the outer counter
+// (k < WritesToNextRemap(la)).
+func (s *Scheme) SkipWrites(la, k uint64) {
+	if k >= s.cfg.OuterInterval-s.writeCount {
+		panic(fmt.Errorf("core: SkipWrites(%d) would cross an outer movement (%d writes remain)",
+			k, s.cfg.OuterInterval-s.writeCount))
+	}
+	ia := s.Intermediate(la)
+	if ia != s.cfg.Lines {
+		s.regions[ia/s.perRegion].SkipWrites(k)
+	}
+	s.writeCount += k
+}
+
 // startRound rotates the keys and clears the remap state.
 func (s *Scheme) startRound() {
 	s.kp = s.kc

@@ -127,6 +127,39 @@ func (a *AdaptiveRBSG) NoteWrite(la uint64, m wear.Mover) uint64 {
 	return ns
 }
 
+// WritesToNextRemap overrides the embedded scheme's fast-forward hook so
+// batched write runs (wear.Controller.WriteRun) stay bit-identical with
+// the detector in the loop. The embedded RBSG bound shrinks to the next
+// write that could change detector-visible state: a window close (which
+// may flip alarms) or, in an alarmed region, a boost fire.
+func (a *AdaptiveRBSG) WritesToNextRemap(la uint64) uint64 {
+	rem := a.Scheme.WritesToNextRemap(la)
+	if wrem := a.cfg.Window - a.window; wrem < rem {
+		rem = wrem
+	}
+	region := a.Intermediate(la) / a.LinesPerRegion()
+	if a.alarmed[region] > 0 {
+		if brem := a.interval - a.perRgn[region]%a.interval; brem < rem {
+			rem = brem
+		}
+	}
+	return rem
+}
+
+// SkipWrites books k movement-free writes against the detector's window
+// counters and the embedded scheme (k < WritesToNextRemap(la), so no
+// window closes, no boost fires and no gap moves within the run).
+func (a *AdaptiveRBSG) SkipWrites(la, k uint64) {
+	if k >= a.cfg.Window-a.window {
+		panic(fmt.Errorf("detector: SkipWrites(%d) would cross a window close (%d writes remain)",
+			k, a.cfg.Window-a.window))
+	}
+	region := a.Intermediate(la) / a.LinesPerRegion()
+	a.Scheme.SkipWrites(la, k)
+	a.perRgn[region] += k
+	a.window += k
+}
+
 // closeWindow evaluates the alarm condition and resets the counters.
 func (a *AdaptiveRBSG) closeWindow() {
 	limit := uint64(a.cfg.AlarmShare * float64(a.cfg.Window))

@@ -131,25 +131,24 @@ func (a *actor) publish() {
 			}
 		}
 	}
-	s.WearP50, s.WearP90, s.WearP99 = a.wearPercentiles(a.ctrl.Bank().WearCounts())
+	s.WearP50, s.WearP90, s.WearP99 = a.wearPercentiles()
 	a.snap.Store(s)
 }
 
 // Snapshot returns the latest published telemetry (never nil).
 func (a *actor) Snapshot() *BankSnapshot { return a.snap.Load() }
 
-// wearPercentiles summarizes a wear array without mutating it. The sort
-// runs on a scratch copy owned by the actor goroutine (publish is only
-// ever called from it), so steady-state snapshots allocate nothing.
-func (a *actor) wearPercentiles(wear []uint32) (p50, p90, p99 uint64) {
-	if len(wear) == 0 {
+// wearPercentiles summarizes the bank's wear distribution. It works on a
+// WearSnapshot into a scratch buffer owned by the actor goroutine
+// (publish is only ever called from it) — never on the live WearCounts
+// slice, which aliases bank state — so steady-state snapshots allocate
+// nothing and the subsequent sort cannot disturb the bank.
+func (a *actor) wearPercentiles() (p50, p90, p99 uint64) {
+	a.wearScratch = a.ctrl.Bank().WearSnapshot(a.wearScratch)
+	sorted := a.wearScratch
+	if len(sorted) == 0 {
 		return 0, 0, 0
 	}
-	if cap(a.wearScratch) < len(wear) {
-		a.wearScratch = make([]uint32, len(wear))
-	}
-	sorted := a.wearScratch[:len(wear)]
-	copy(sorted, wear)
 	slices.Sort(sorted)
 	at := func(q float64) uint64 {
 		i := int(q * float64(len(sorted)-1))

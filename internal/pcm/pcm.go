@@ -176,6 +176,24 @@ type Bank struct {
 	resetWrites uint64 // writes of ALL-0 content (RESET pulses only)
 	totalReads  uint64
 	elapsedNs   uint64
+
+	// Running maximum over wear, maintained on every write so MaxWear is
+	// O(1). The tie-break (lowest PA among equally worn lines) matches the
+	// scan it replaced — figure fingerprints depend on MaxWearPA.
+	maxWearVal uint32
+	maxWearPA  uint64
+}
+
+// noteWear folds one line's new wear value into the running maximum,
+// preserving the earliest-PA tie-break of a left-to-right scan: a line
+// only takes over an equal maximum if its address is lower.
+func (b *Bank) noteWear(pa uint64, w uint32) {
+	if w > b.maxWearVal {
+		b.maxWearVal = w
+		b.maxWearPA = pa
+	} else if w == b.maxWearVal && pa < b.maxWearPA {
+		b.maxWearPA = pa
+	}
 }
 
 // NewBank builds a bank from cfg. All lines start as Zeros with zero wear.
@@ -242,6 +260,7 @@ func (b *Bank) Write(pa uint64, c Content) uint64 {
 	b.elapsedNs += ns
 	w := uint64(b.wear[pa]) + 1
 	b.wear[pa] = uint32(w)
+	b.noteWear(pa, uint32(w))
 	endurance := b.cfg.Endurance
 	if b.endurances != nil {
 		endurance = uint64(b.endurances[pa])
@@ -259,6 +278,55 @@ func (b *Bank) Write(pa uint64, c Content) uint64 {
 	}
 	b.content[pa] = c
 	return ns
+}
+
+// WriteN stores content c into line pa n times in a row, with wear, clock
+// and failure accounting identical to calling Write(pa, c) n times — but
+// in O(1). It returns the total latency of the batch in nanoseconds.
+//
+// Equivalence to the write-by-write loop is exact: the per-write latency
+// is constant (it depends only on c), so the batch advances the clock by
+// n·WriteNs(c); if the batch carries the line past its endurance, the
+// crossing write's index is computed arithmetically and the recorded
+// first-failure time is the clock exactly after that write, as the loop
+// would have recorded it. The one representational limit is the uint32
+// wear counter: a single line's lifetime wear must stay below 2^32, which
+// holds for every supported configuration (endurance ≤ 10^8 and callers
+// stop hammering failed lines).
+func (b *Bank) WriteN(pa uint64, c Content, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	b.check(pa)
+	ns := b.cfg.Timing.WriteNs(c)
+	b.totalWrites += n
+	if c == Zeros {
+		b.resetWrites += n
+	}
+	w0 := uint64(b.wear[pa])
+	w1 := w0 + n
+	b.wear[pa] = uint32(w1)
+	b.noteWear(pa, uint32(w1))
+	endurance := b.cfg.Endurance
+	if b.endurances != nil {
+		endurance = uint64(b.endurances[pa])
+	}
+	if w0 <= endurance && w1 > endurance {
+		// The (endurance+1−w0)-th write of this batch is the crossing one.
+		b.failedLines++
+		if !b.failed {
+			b.failed = true
+			b.firstFailPA = pa
+			b.firstFailNs = b.elapsedNs + (endurance+1-w0)*ns
+		}
+	}
+	b.elapsedNs += n * ns
+	if w0 < endurance {
+		// At least one write of the batch landed before the line stuck, and
+		// every successful write stored the same content.
+		b.content[pa] = c
+	}
+	return n * ns
 }
 
 // Move copies the content of line src into line dst (one read plus one
@@ -286,22 +354,29 @@ func (b *Bank) Wear(pa uint64) uint64 {
 	return uint64(b.wear[pa])
 }
 
-// WearCounts returns the underlying wear array. The caller must treat it as
-// read-only; it is exposed without copying because experiment code scans
-// millions of counters.
+// WearCounts returns the underlying wear array without copying, because
+// experiment code scans millions of counters.
+//
+// Aliasing hazard: the returned slice IS the bank's live state. It mutates
+// under the caller on every subsequent Write/WriteN/Move/Swap, so it must
+// only be read between operations on the bank's own goroutine and never
+// retained or handed to another goroutine — use WearSnapshot for that.
 func (b *Bank) WearCounts() []uint32 { return b.wear }
 
-// MaxWear returns the highest wear of any line and its address.
+// WearSnapshot appends a copy of the wear array to dst (growing it as
+// needed) and returns it. The copy is decoupled from the bank: safe to
+// retain, sort, or read from other goroutines while the bank keeps
+// writing. Pass nil to allocate, or a reused buffer for zero steady-state
+// allocations.
+func (b *Bank) WearSnapshot(dst []uint32) []uint32 {
+	return append(dst[:0], b.wear...)
+}
+
+// MaxWear returns the highest wear of any line and its address (the
+// lowest such address when several lines tie). The maximum is maintained
+// incrementally on every write, so this is O(1).
 func (b *Bank) MaxWear() (pa uint64, wear uint64) {
-	var bestW uint32
-	var bestPA uint64
-	for i, w := range b.wear {
-		if w > bestW {
-			bestW = w
-			bestPA = uint64(i)
-		}
-	}
-	return bestPA, uint64(bestW)
+	return b.maxWearPA, uint64(b.maxWearVal)
 }
 
 // Failed reports whether any line has exceeded its endurance.

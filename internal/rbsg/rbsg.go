@@ -158,6 +158,22 @@ func (s *Scheme) NoteWrite(la uint64, m wear.Mover) uint64 {
 	return s.regions[ia/s.perRegion].NoteWrite(m)
 }
 
+// WritesToNextRemap implements wear.FastForwarder: of the next k writes
+// to la, exactly the k-th can trigger a gap movement — the one in la's
+// (static) region whose interval elapses. Movements in other regions
+// cannot be triggered by writes to la, so k is exact, not a bound.
+func (s *Scheme) WritesToNextRemap(la uint64) uint64 {
+	ia := s.randomizer.Encrypt(la)
+	return s.regions[ia/s.perRegion].WritesToNextMove()
+}
+
+// SkipWrites implements wear.FastForwarder: book k movement-free writes
+// to la against its region (k < WritesToNextRemap(la)).
+func (s *Scheme) SkipWrites(la, k uint64) {
+	ia := s.randomizer.Encrypt(la)
+	s.regions[ia/s.perRegion].SkipWrites(k)
+}
+
 // LineVulnerabilityFactor returns the LVF — the maximum number of writes a
 // pinned logical address can land on one physical line before Start-Gap
 // moves it: one full region round, (n+1) × ψ writes.

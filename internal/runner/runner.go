@@ -98,6 +98,12 @@ type CellResult struct {
 	Retriable   bool              `json:"retriable,omitempty"`
 	Metrics     Metrics           `json:"metrics"`
 	WallSeconds float64           `json:"wall_seconds"`
+	// WritesPerSec is the cell's simulated line-write throughput
+	// (Metrics.SimWrites over the cell's wall time). 0 when the cell does
+	// not report SimWrites or did not finish. Like WallSeconds it is
+	// runtime telemetry: comparing it across BENCH baselines is how the
+	// exact tier's per-cell speedups are tracked.
+	WritesPerSec float64 `json:"writes_per_sec,omitempty"`
 }
 
 // Report is the outcome of one grid run. Results is index-addressed in
@@ -228,6 +234,9 @@ func Run(ctx context.Context, g Grid, opts Options) (*Report, error) {
 		//rbsglint:allow simdeterminism -- per-cell wall time is runtime telemetry; the cell metrics are computed before it is read
 		res.WallSeconds = time.Since(cellBegin).Seconds()
 		res.Metrics = m
+		if err == nil && m.SimWrites > 0 && res.WallSeconds > 0 {
+			res.WritesPerSec = m.SimWrites / res.WallSeconds
+		}
 		var saveErr error
 		switch {
 		case err == nil:

@@ -229,6 +229,45 @@ func TestCheckpointsAndRunmetaWritten(t *testing.T) {
 	if len(m.Grids) != 1 || m.Grids[0].Done != 5 || len(m.Grids[0].Results) != 5 {
 		t.Fatalf("runmeta: %+v", m)
 	}
+	// Per-cell throughput telemetry survives the round trip to disk.
+	for _, r := range m.Grids[0].Results {
+		if r.WritesPerSec <= 0 {
+			t.Fatalf("cell %s: writes_per_sec missing from runmeta: %+v", r.ID, r)
+		}
+	}
+}
+
+// TestCellThroughputReported: every finished cell that reports SimWrites
+// gets a WritesPerSec rate consistent with its wall time; cells that
+// report nothing get zero.
+func TestCellThroughputReported(t *testing.T) {
+	rep, err := Run(context.Background(), syntheticGrid("thru-test", 3), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.WritesPerSec <= 0 {
+			t.Fatalf("cell %s: no throughput: %+v", r.ID, r)
+		}
+		if want := r.Metrics.SimWrites / r.WallSeconds; r.WritesPerSec != want {
+			t.Fatalf("cell %s: writes/sec %v, want SimWrites/WallSeconds = %v", r.ID, r.WritesPerSec, want)
+		}
+	}
+
+	quiet := Grid{
+		Name:  "thru-quiet",
+		Cells: []Cell{{ID: "q"}},
+		Run: func(context.Context, Cell, uint64) (Metrics, error) {
+			return Metrics{Values: map[string]float64{"x": 1}}, nil
+		},
+	}
+	rep, err = Run(context.Background(), quiet, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].WritesPerSec != 0 {
+		t.Fatalf("cell without SimWrites must not report throughput: %+v", rep.Results[0])
+	}
 }
 
 func TestTelemetryTickerWrites(t *testing.T) {

@@ -133,6 +133,34 @@ func (s *OneLevel) NoteWrite(la uint64, m wear.Mover) uint64 {
 	return s.Step(m)
 }
 
+// writesToNextStep returns how many writes from now until a refresh step
+// fires: the k-th write triggers Step. Always ≥ 1.
+func (s *OneLevel) writesToNextStep() uint64 { return s.interval - s.writeCount }
+
+// skip books k step-free writes (k < writesToNextStep()). Between steps
+// the domain's translation is frozen, so this is indistinguishable from
+// k NoteWrite calls that all returned 0.
+func (s *OneLevel) skip(k uint64) {
+	if k >= s.interval-s.writeCount {
+		panic(fmt.Errorf("secref: skip(%d) would cross a refresh step (%d writes remain)",
+			k, s.interval-s.writeCount))
+	}
+	s.writeCount += k
+}
+
+// WritesToNextRemap implements wear.FastForwarder for a standalone
+// domain: every write counts toward the one refresh interval.
+func (s *OneLevel) WritesToNextRemap(la uint64) uint64 {
+	_ = la
+	return s.writesToNextStep()
+}
+
+// SkipWrites implements wear.FastForwarder (k < WritesToNextRemap).
+func (s *OneLevel) SkipWrites(la, k uint64) {
+	_ = la
+	s.skip(k)
+}
+
 // Step performs one refresh step unconditionally: start a new round if the
 // previous one finished, then process the address under the CRP — swap it
 // with its pair if that pair swap has not happened yet, else just advance.

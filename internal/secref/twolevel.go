@@ -142,6 +142,37 @@ func (s *TwoLevel) NoteWrite(la uint64, m wear.Mover) uint64 {
 	return ns
 }
 
+// WritesToNextRemap implements wear.FastForwarder: of the next k writes
+// to la, exactly the k-th is the first that can trigger a refresh step —
+// whichever of la's inner domain's interval and the outer interval
+// elapses first. Writes to la tick both counters, and the levels'
+// translations are frozen between steps, so k is exact.
+func (s *TwoLevel) WritesToNextRemap(la uint64) uint64 {
+	ia := s.Intermediate(la)
+	inner := s.inner[ia/s.perRegion].writesToNextStep()
+	outer := s.outer.writesToNextStep()
+	if outer < inner {
+		return outer
+	}
+	return inner
+}
+
+// SkipWrites implements wear.FastForwarder: book k step-free writes to la
+// against both levels (k < WritesToNextRemap(la)).
+func (s *TwoLevel) SkipWrites(la, k uint64) {
+	ia := s.Intermediate(la)
+	s.inner[ia/s.perRegion].skip(k)
+	s.outer.skip(k)
+}
+
+// WritesToNextOuterStep returns how many bank writes remain until the
+// outer level's next refresh step (every bank write ticks the outer
+// domain, so this is address-independent). The outer translation — and
+// with it Intermediate(la) for every la — is frozen for that many minus
+// one writes; attackers batching hammer stints use it as the bound past
+// which an address may migrate between sub-regions.
+func (s *TwoLevel) WritesToNextOuterStep() uint64 { return s.outer.writesToNextStep() }
+
 // outerStep performs one outer refresh step, routing the data movement
 // through the inner translation so the swap touches the correct physical
 // lines.

@@ -108,6 +108,24 @@ func (r *Region) NoteWrite(m wear.Mover) uint64 {
 	return r.MoveGap(m)
 }
 
+// WritesToNextMove returns how many demand writes from now until a gap
+// movement fires: of the next k = WritesToNextMove() writes to the
+// region, exactly the k-th triggers MoveGap. Always ≥ 1.
+func (r *Region) WritesToNextMove() uint64 { return r.interval - r.writeCount }
+
+// SkipWrites books k demand writes at once, none of which may trigger a
+// movement: k must be strictly less than WritesToNextMove(). This is the
+// epoch fast-forward primitive — between gap movements the region's
+// translation is frozen, so skipped writes are indistinguishable from
+// k calls to NoteWrite that all returned 0.
+func (r *Region) SkipWrites(k uint64) {
+	if k >= r.interval-r.writeCount {
+		panic(fmt.Errorf("startgap: SkipWrites(%d) would cross a gap movement (%d writes remain)",
+			k, r.interval-r.writeCount))
+	}
+	r.writeCount += k
+}
+
 // MoveGap performs one gap movement unconditionally: the line before the
 // gap slides into the gap; when the gap reaches slot 0 the round completes,
 // the line in the top slot wraps to slot 0 and Start advances.

@@ -6,7 +6,7 @@
 # Overrides (documented in DESIGN.md "Performance engineering"):
 #   BENCHGATE_SKIP=1            skip the gate (e.g. known-noisy runner)
 #   BENCHGATE_MAX_REGRESS=0.30  widen the ns/op threshold
-#   BENCH_BASELINE=BENCH_4.json compare against a different baseline
+#   BENCH_BASELINE=BENCH_5.json compare against a different baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,12 +15,13 @@ if [ "${BENCHGATE_SKIP:-0}" = "1" ]; then
     exit 0
 fi
 
-baseline="${BENCH_BASELINE:-BENCH_4.json}"
-# The four designated guards (see bench_test.go "perf-gate guard
-# benchmarks"): pure mapping kernel, both per-access paths, and the
-# end-to-end Monte-Carlo kernel. No HTTP layers — the gate measures our
+baseline="${BENCH_BASELINE:-BENCH_5.json}"
+# The six designated guards (see bench_test.go "perf-gate guard
+# benchmarks"): pure mapping kernel, both per-access paths, the
+# end-to-end Monte-Carlo kernel, and the exact tier's bulk-write and
+# epoch fast-forward kernels. No HTTP layers — the gate measures our
 # code, not the harness.
-guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled'
+guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward'
 regex="^($(echo "$guards" | tr ',' '|'))\$"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
