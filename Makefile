@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt fmt-check vet lint test race bench-smoke bench-record bench-gate profile serve serve-smoke loadgen ci
+.PHONY: build fmt fmt-check vet lint test race race-sweep bench-smoke bench-record bench-gate profile serve serve-smoke loadgen tournament-smoke tournament-nightly ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ test: build vet
 race:
 	$(GO) test -race -short ./...
 
+# Second race pass: the exact tier's parallel sub-region sweep kernel,
+# sharded across up to 64 goroutines — the shape most likely to surface
+# a ShardedBank ownership race. Mirrors the CI race job's second step.
+race-sweep:
+	$(GO) test -race -run 'TestParallelSweep' ./internal/exactsim/
+
 # Every benchmark must at least execute once without panicking.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -71,4 +77,18 @@ loadgen:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: fmt-check test lint race bench-smoke bench-gate serve-smoke
+# Full registered scheme×attack matrix at smoke scale (2^10 lines)
+# through cmd/tournament: every playable registry cell must complete,
+# and a checkpointed rerun must emit a byte-identical CSV.
+tournament-smoke:
+	./scripts/tournament_smoke.sh
+
+# Nightly-scale tournament (2^14 lines). Checkpoints accumulate under
+# .tournament-ckpt, so an interrupted run resumes instead of restarting;
+# CI's workflow_dispatch job persists that directory via actions/cache.
+tournament-nightly:
+	$(GO) run ./cmd/tournament -lines 16384 -endurance 100000 \
+		-ckpt .tournament-ckpt -resume \
+		-out tournament.csv -meta runmeta.tournament.json
+
+ci: fmt-check test lint race race-sweep bench-smoke bench-gate serve-smoke tournament-smoke

@@ -14,17 +14,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"securityrbsg/internal/attack"
 	"securityrbsg/internal/core"
 	"securityrbsg/internal/pcm"
 	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/registry"
 	"securityrbsg/internal/secref"
 	"securityrbsg/internal/wear"
+
+	_ "securityrbsg/internal/plugins"
 )
 
 func main() {
-	target := flag.String("target", "rbsg", "victim scheme: rbsg, sr or security-rbsg")
+	target := flag.String("target", "rbsg", "victim scheme: rbsg, sr, sr2 or security-rbsg")
 	lines := flag.Uint64("lines", 256, "logical lines (power of two)")
 	regions := flag.Uint64("regions", 8, "regions (rbsg / security-rbsg)")
 	interval := flag.Uint64("interval", 4, "remapping interval ψ")
@@ -44,7 +48,12 @@ func main() {
 	case "security-rbsg":
 		demoSecurityRBSG(bankCfg, *lines, *regions, *interval, *li)
 	default:
-		fmt.Fprintf(os.Stderr, "attackdemo: unknown target %q\n", *target)
+		// The demo narrators cover the short names above; point everything
+		// else at the registry so the error lists what actually exists
+		// (and where the full matrix lives).
+		fmt.Fprintf(os.Stderr, "attackdemo: unknown target %q (demo targets: rbsg, sr, sr2, security-rbsg)\n", *target)
+		fmt.Fprintf(os.Stderr, "attackdemo: registered schemes: %s — run the full matrix with cmd/tournament\n",
+			strings.Join(registry.Default.SchemeNames(), ", "))
 		os.Exit(1)
 	}
 }

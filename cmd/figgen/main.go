@@ -191,6 +191,14 @@ func (g *generator) emit(name string, write func(io.Writer) error) error {
 	return nil
 }
 
+// eval resolves one closed-form point through the registry's model tier
+// (see internal/experiments/models.go) — the same dispatch cmd/lifetime
+// and the tournament use, so a figure can never drift from the plugin a
+// scheme name resolves to.
+func (g *generator) eval(d lifetime.Device, scheme, att string, p lifetime.SRBSGParams) (lifetime.Estimate, error) {
+	return experiments.Evaluate(d, scheme, att, p, g.runs, 1)
+}
+
 // fig11: RBSG lifetime under RTA (regions × interval grid) and RAA.
 func (g *generator) fig11() error {
 	d := lifetime.PaperDevice()
@@ -198,9 +206,15 @@ func (g *generator) fig11() error {
 		fmt.Fprintln(w, "regions,interval,rta_seconds,raa_seconds,raa_over_rta")
 		for _, r := range []uint64{32, 64, 128} {
 			for _, psi := range []uint64{16, 32, 64, 100} {
-				p := lifetime.RBSGParams{Regions: r, Interval: psi}
-				rta := lifetime.RTAOnRBSG(d, p)
-				raa := lifetime.RAAOnRBSG(d, p)
+				p := lifetime.SRBSGParams{Regions: r, InnerInterval: psi}
+				rta, err := g.eval(d, "rbsg", "rta", p)
+				if err != nil {
+					return err
+				}
+				raa, err := g.eval(d, "rbsg", "raa", p)
+				if err != nil {
+					return err
+				}
 				fmt.Fprintf(w, "%d,%d,%.1f,%.0f,%.0f\n",
 					r, psi, rta.Seconds, raa.Seconds, raa.Seconds/rta.Seconds)
 			}
@@ -212,8 +226,12 @@ func (g *generator) fig11() error {
 		vals := []float64{}
 		for _, r := range []uint64{32, 64, 128} {
 			for _, psi := range []uint64{16, 100} {
+				rta, err := g.eval(d, "rbsg", "rta", lifetime.SRBSGParams{Regions: r, InnerInterval: psi})
+				if err != nil {
+					return err
+				}
 				labels = append(labels, fmt.Sprintf("R=%d ψ=%d", r, psi))
-				vals = append(vals, lifetime.RTAOnRBSG(d, lifetime.RBSGParams{Regions: r, Interval: psi}).Seconds)
+				vals = append(vals, rta.Seconds)
 			}
 		}
 		fmt.Print(asciiplot.Bars("Fig 11 — RBSG lifetime under RTA (seconds)", labels, vals, 40))
@@ -222,10 +240,14 @@ func (g *generator) fig11() error {
 }
 
 // srGrid is Table I of the paper.
-func srGrid(f func(p lifetime.SRParams)) {
+func srGrid(f func(p lifetime.SRBSGParams) error) error {
 	for _, c := range experiments.Fig15CellList() {
-		f(lifetime.SRParams{Regions: c.Regions, InnerInterval: c.Inner, OuterInterval: c.Outer})
+		p := lifetime.SRBSGParams{Regions: c.Regions, InnerInterval: c.Inner, OuterInterval: c.Outer}
+		if err := f(p); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // fig12: two-level SR lifetime under RTA over the Table-I grid.
@@ -233,11 +255,18 @@ func (g *generator) fig12() error {
 	d := lifetime.PaperDevice()
 	return g.emit("fig12_sr_rta.csv", func(w io.Writer) error {
 		fmt.Fprintln(w, "subregions,inner,outer,lifetime_days")
-		srGrid(func(p lifetime.SRParams) {
-			e := lifetime.RTAOnTwoLevelSRAvg(d, p, g.runs, 1)
+		err := srGrid(func(p lifetime.SRBSGParams) error {
+			e, err := g.eval(d, "two-level-sr", "rta", p)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%d,%d,%d,%.2f\n",
 				p.Regions, p.InnerInterval, p.OuterInterval, analytic.SecondsToDays(e.Seconds))
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(d.IdealSeconds()))
 		return nil
 	})
@@ -248,12 +277,19 @@ func (g *generator) fig13() error {
 	d := lifetime.PaperDevice()
 	return g.emit("fig13_sr_raa.csv", func(w io.Writer) error {
 		fmt.Fprintln(w, "subregions,inner,outer,lifetime_days,fraction_of_ideal")
-		srGrid(func(p lifetime.SRParams) {
-			e := lifetime.RAAOnTwoLevelSR(d, p)
+		err := srGrid(func(p lifetime.SRBSGParams) error {
+			e, err := g.eval(d, "two-level-sr", "raa", p)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%d,%d,%d,%.0f,%.3f\n",
 				p.Regions, p.InnerInterval, p.OuterInterval,
 				analytic.SecondsToDays(e.Seconds), e.FractionOfIdeal)
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "# ideal lifetime: %.0f days\n", analytic.SecondsToDays(d.IdealSeconds()))
 		return nil
 	})
@@ -401,15 +437,22 @@ func (g *generator) perf() error {
 				return err
 			}
 			var sums = map[string][2]float64{}
+			var suites []string
 			for _, r := range results {
 				fmt.Fprintf(w, "%d,%s,%s,%.4f,%.4f,%.3f\n",
 					psi, r.Name, r.Suite, r.BaselineIPC, r.SchemeIPC, r.DegradationPct)
+				if _, seen := sums[r.Suite]; !seen {
+					suites = append(suites, r.Suite)
+				}
 				s := sums[r.Suite]
 				s[0] += r.DegradationPct
 				s[1]++
 				sums[r.Suite] = s
 			}
-			for suite, s := range sums {
+			// First-appearance order, not map order: the summary lines must
+			// be as deterministic as the rows they summarize.
+			for _, suite := range suites {
+				s := sums[suite]
 				fmt.Fprintf(w, "# ψ=%d %s average degradation: %.2f%%\n",
 					psi, strings.ToUpper(suite), s[0]/s[1])
 			}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"securityrbsg/internal/registry"
+	"securityrbsg/internal/wear"
+)
+
+// The registry entry for Security RBSG, the paper's contribution. The
+// defaults are the paper's suggested configuration (512 sub-regions,
+// ψ_i=64, ψ_o=128, 7 DFN stages), with the region count scaled down on
+// small tournament geometries so each inner Start-Gap region keeps at
+// least 16 lines.
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "security-rbsg",
+		Doc:  "Security RBSG: dynamic Feistel outer mapping + per-region Start-Gap",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.Regions == 0 {
+				cfg.Regions = 512
+				for cfg.Regions > 1 && cfg.Lines/cfg.Regions < 16 {
+					cfg.Regions /= 2
+				}
+			}
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 64
+			}
+			if cfg.OuterInterval == 0 {
+				cfg.OuterInterval = 128
+			}
+			if cfg.Stages == 0 {
+				cfg.Stages = 7
+			}
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			return New(Config{
+				Lines: cfg.Lines, Regions: cfg.Regions,
+				InnerInterval: cfg.InnerInterval, OuterInterval: cfg.OuterInterval,
+				Stages: cfg.Stages, Seed: cfg.Seed,
+			})
+		},
+	})
+}

@@ -67,13 +67,16 @@ type AdaptiveRBSG struct {
 	*rbsg.Scheme
 	cfg Config
 
-	window   uint64   // writes in the current window
-	perRgn   []uint64 // per-region writes in the current window
-	alarmed  []int    // remaining cooldown windows per region (0 = clear)
-	alarms   uint64   // total alarms raised
-	boosted  uint64   // extra movements issued
-	regions  uint64
-	interval uint64
+	window     uint64   // writes in the current window
+	perRgn     []uint64 // per-region writes in the current window
+	alarmed    []int    // remaining cooldown windows per region (0 = clear)
+	alarms     uint64   // total alarms raised
+	boosted    uint64   // extra movements issued
+	regions    uint64
+	interval   uint64
+	seen       uint64 // demand writes since boot
+	firstAlarm uint64 // seen-count at the first alarm
+	alarmSeen  bool   // firstAlarm is valid
 }
 
 // NewAdaptiveRBSG wraps scheme with a detector configured by cfg.
@@ -105,6 +108,13 @@ func (a *AdaptiveRBSG) BoostedMovements() uint64 { return a.boosted }
 // Alarmed reports whether region r is currently under alarm.
 func (a *AdaptiveRBSG) Alarmed(r uint64) bool { return a.alarmed[r] > 0 }
 
+// FirstAlarmWrite returns the index (in demand writes since boot) of the
+// write whose window close raised the detector's first alarm — the
+// defender-side detection latency. ok is false while no alarm has fired.
+func (a *AdaptiveRBSG) FirstAlarmWrite() (write uint64, ok bool) {
+	return a.firstAlarm, a.alarmSeen
+}
+
 // NoteWrite books the write, runs the base scheme's wear leveling, and —
 // for alarmed regions — issues Boost−1 additional gap movements per
 // interval, multiplying the region's remapping rate.
@@ -112,6 +122,7 @@ func (a *AdaptiveRBSG) NoteWrite(la uint64, m wear.Mover) uint64 {
 	region := a.Intermediate(la) / a.LinesPerRegion()
 	a.perRgn[region]++
 	a.window++
+	a.seen++
 
 	ns := a.Scheme.NoteWrite(la, m)
 	if a.alarmed[region] > 0 && a.perRgn[region]%a.interval == 0 {
@@ -158,6 +169,7 @@ func (a *AdaptiveRBSG) SkipWrites(la, k uint64) {
 	a.Scheme.SkipWrites(la, k)
 	a.perRgn[region] += k
 	a.window += k
+	a.seen += k
 }
 
 // closeWindow evaluates the alarm condition and resets the counters.
@@ -167,6 +179,10 @@ func (a *AdaptiveRBSG) closeWindow() {
 		if a.perRgn[r] >= limit {
 			if a.alarmed[r] == 0 {
 				a.alarms++
+				if !a.alarmSeen {
+					a.firstAlarm = a.seen
+					a.alarmSeen = true
+				}
 			}
 			a.alarmed[r] = a.cfg.Cooldown
 		} else if a.alarmed[r] > 0 {

@@ -1,0 +1,41 @@
+package detector
+
+import (
+	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/registry"
+	"securityrbsg/internal/wear"
+)
+
+// The registry entry for RBSG wrapped in the online write-stream
+// detector — the HPCA'11-style countermeasure whose interaction with the
+// RTA the paper analyzes. It is the only scheme in the matrix that
+// reports a defender-side detection latency (registry.AlarmReporter).
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "rbsg+detector",
+		Doc:  "RBSG + online attack detector boosting alarmed regions' leveling rate",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.Regions == 0 {
+				cfg.Regions = 32
+				for cfg.Regions > cfg.Lines {
+					cfg.Regions /= 2
+				}
+			}
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 100
+			}
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			base, err := rbsg.New(rbsg.Config{
+				Lines: cfg.Lines, Regions: cfg.Regions,
+				Interval: cfg.InnerInterval, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return NewAdaptiveRBSG(base, Config{})
+		},
+	})
+}

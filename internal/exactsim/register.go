@@ -1,0 +1,16 @@
+package exactsim
+
+import (
+	"securityrbsg/internal/registry"
+	"securityrbsg/internal/wear"
+)
+
+// Registering FastTarget as the exact-tier accelerator wraps every
+// tournament cell's controller in the batched/parallel fast paths —
+// bit-identical to the naive loop, so cells keep their exactness while
+// full-matrix grids stay tractable.
+func init() {
+	registry.RegisterAccelerator(func(c *wear.Controller, workers int) registry.Target {
+		return NewFastTarget(c, workers)
+	})
+}

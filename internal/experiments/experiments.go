@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"securityrbsg/internal/lifetime"
+	"securityrbsg/internal/registry"
 	"securityrbsg/internal/runner"
 	"securityrbsg/internal/stats"
 )
@@ -297,38 +298,15 @@ func CompareGrid(d lifetime.Device, runs int) runner.Grid {
 }
 
 // Evaluate computes the lifetime of one (scheme, attack, configuration)
-// triple — the single-cell evaluation behind cmd/lifetime. All
+// triple — the single-cell evaluation behind cmd/lifetime. It resolves
+// the pair through the plugin registry's model tier (see models.go); the
+// error for an unknown pairing lists the modeled combinations. All
 // randomness derives from seed.
 func Evaluate(d lifetime.Device, scheme, att string, p lifetime.SRBSGParams, runs int, seed uint64) (lifetime.Estimate, error) {
-	sr := lifetime.SRParams{Regions: p.Regions, InnerInterval: p.InnerInterval, OuterInterval: p.OuterInterval}
-	rb := lifetime.RBSGParams{Regions: p.Regions, Interval: p.InnerInterval}
-	switch scheme + "/" + att {
-	case "none/raa", "none/bpa", "none/rta":
-		return lifetime.Baseline(d), nil
-	case "start-gap/raa":
-		return lifetime.RAAOnStartGap(d, p.InnerInterval), nil
-	case "rbsg/raa":
-		return lifetime.RAAOnRBSG(d, rb), nil
-	case "rbsg/bpa":
-		return lifetime.BPAOnRBSG(d, rb), nil
-	case "rbsg/rta":
-		return lifetime.RTAOnRBSG(d, rb), nil
-	case "multiway-sr/focused", "multiway-sr/rta":
-		return lifetime.FocusedOnMultiWay(d, p.Regions, p.InnerInterval), nil
-	case "two-level-sr/raa":
-		return lifetime.RAAOnTwoLevelSR(d, sr), nil
-	case "two-level-sr/bpa":
-		return lifetime.BPAOnTwoLevelSR(d, sr), nil
-	case "two-level-sr/rta":
-		return lifetime.RTAOnTwoLevelSRAvg(d, sr, runs, seed), nil
-	case "security-rbsg/raa":
-		return lifetime.RAAOnSecurityRBSGAvg(d, p, runs, seed)
-	case "security-rbsg/bpa":
-		return lifetime.BPAOnSecurityRBSG(d, p), nil
-	case "security-rbsg/rta":
-		e, _, err := lifetime.RTAOnSecurityRBSG(d, p, seed)
-		return e, err
-	default:
-		return lifetime.Estimate{}, fmt.Errorf("unsupported combination %s/%s", scheme, att)
-	}
+	return registry.Default.EvalModel(scheme, att, registry.Config{
+		Lines: d.Lines, Endurance: d.Endurance, Timing: d.Timing,
+		Regions: p.Regions, InnerInterval: p.InnerInterval,
+		OuterInterval: p.OuterInterval, Stages: p.Stages,
+		Runs: runs, Seed: seed,
+	})
 }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"securityrbsg/internal/lifetime"
+	"securityrbsg/internal/registry"
+
+	// Evaluate composes by registry name, so every scheme/attack plugin
+	// must be linked wherever experiments is.
+	_ "securityrbsg/internal/plugins"
+)
+
+// This file registers the closed-form / Monte-Carlo lifetime models with
+// the plugin registry, one entry per (scheme, attack) pair — exactly the
+// pairs the old hand-wired Evaluate switch dispatched on. The model
+// functions themselves are unchanged (internal/lifetime); the registry
+// only replaces the dispatch, so every figure and table is byte-identical.
+
+// Parameter views of the declarative cell configuration.
+
+func srOf(cfg registry.Config) lifetime.SRParams {
+	return lifetime.SRParams{Regions: cfg.Regions, InnerInterval: cfg.InnerInterval, OuterInterval: cfg.OuterInterval}
+}
+
+func rbOf(cfg registry.Config) lifetime.RBSGParams {
+	return lifetime.RBSGParams{Regions: cfg.Regions, Interval: cfg.InnerInterval}
+}
+
+func srbsgOf(cfg registry.Config) lifetime.SRBSGParams {
+	return lifetime.SRBSGParams{
+		Regions: cfg.Regions, InnerInterval: cfg.InnerInterval,
+		OuterInterval: cfg.OuterInterval, Stages: cfg.Stages,
+	}
+}
+
+// exact wraps an error-free model function.
+func exact(fn func(cfg registry.Config) lifetime.Estimate) registry.ModelFunc {
+	return func(cfg registry.Config) (lifetime.Estimate, error) { return fn(cfg), nil }
+}
+
+func init() {
+	// The focused-write adversary of the Multi-Way SR analysis exists
+	// only as a closed form; it registers model-only (no exact runner).
+	registry.RegisterAttack(registry.Attack{
+		Name: "focused",
+		Doc:  "model-only focused writes tracking one Multi-Way SR sub-region",
+	})
+
+	baseline := exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.Baseline(cfg.Device())
+	})
+	for _, att := range []string{"raa", "bpa", "rta"} {
+		registry.RegisterModel("none", att, baseline)
+	}
+
+	registry.RegisterModel("start-gap", "raa", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.RAAOnStartGap(cfg.Device(), cfg.InnerInterval)
+	}))
+
+	registry.RegisterModel("rbsg", "raa", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.RAAOnRBSG(cfg.Device(), rbOf(cfg))
+	}))
+	registry.RegisterModel("rbsg", "bpa", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.BPAOnRBSG(cfg.Device(), rbOf(cfg))
+	}))
+	registry.RegisterModel("rbsg", "rta", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.RTAOnRBSG(cfg.Device(), rbOf(cfg))
+	}))
+
+	focused := exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.FocusedOnMultiWay(cfg.Device(), cfg.Regions, cfg.InnerInterval)
+	})
+	registry.RegisterModel("multiway-sr", "focused", focused)
+	registry.RegisterModel("multiway-sr", "rta", focused)
+
+	registry.RegisterModel("two-level-sr", "raa", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.RAAOnTwoLevelSR(cfg.Device(), srOf(cfg))
+	}))
+	registry.RegisterModel("two-level-sr", "bpa", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.BPAOnTwoLevelSR(cfg.Device(), srOf(cfg))
+	}))
+	registry.RegisterModel("two-level-sr", "rta", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.RTAOnTwoLevelSRAvg(cfg.Device(), srOf(cfg), cfg.Runs, cfg.Seed)
+	}))
+
+	registry.RegisterModel("security-rbsg", "raa", func(cfg registry.Config) (lifetime.Estimate, error) {
+		return lifetime.RAAOnSecurityRBSGAvg(cfg.Device(), srbsgOf(cfg), cfg.Runs, cfg.Seed)
+	})
+	registry.RegisterModel("security-rbsg", "bpa", exact(func(cfg registry.Config) lifetime.Estimate {
+		return lifetime.BPAOnSecurityRBSG(cfg.Device(), srbsgOf(cfg))
+	}))
+	registry.RegisterModel("security-rbsg", "rta", func(cfg registry.Config) (lifetime.Estimate, error) {
+		e, _, err := lifetime.RTAOnSecurityRBSG(cfg.Device(), srbsgOf(cfg), cfg.Seed)
+		return e, err
+	})
+}

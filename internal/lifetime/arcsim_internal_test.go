@@ -1,0 +1,18 @@
+package lifetime
+
+import (
+	"testing"
+
+	"securityrbsg/internal/pcm"
+)
+
+func TestArcSimValidation(t *testing.T) {
+	d := Device{Lines: 100, Endurance: 10, Timing: pcm.DefaultTiming}
+	if _, err := newArcSim(d, SRBSGParams{Regions: 4, InnerInterval: 1, OuterInterval: 1, Stages: 3}, 1); err == nil {
+		t.Error("non-power-of-two lines must fail")
+	}
+	d = Device{Lines: 128, Endurance: 1 << 40, Timing: pcm.DefaultTiming}
+	if _, err := newArcSim(d, SRBSGParams{Regions: 4, InnerInterval: 1, OuterInterval: 1, Stages: 3}, 1); err == nil {
+		t.Error("visit-threshold overflow must fail")
+	}
+}

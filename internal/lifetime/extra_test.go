@@ -1,10 +1,11 @@
-package lifetime
+package lifetime_test
 
 import (
 	"math"
 	"testing"
 
 	"securityrbsg/internal/attack"
+	"securityrbsg/internal/lifetime"
 	"securityrbsg/internal/pcm"
 	"securityrbsg/internal/rbsg"
 	"securityrbsg/internal/secref"
@@ -14,9 +15,9 @@ import (
 // TestBPAOnRBSGMatchesExactSim cross-validates the BPA model against the
 // real attack at small scale.
 func TestBPAOnRBSGMatchesExactSim(t *testing.T) {
-	d := Device{Lines: 256, Endurance: 3000, Timing: pcm.DefaultTiming}
-	p := RBSGParams{Regions: 8, Interval: 2}
-	model := BPAOnRBSG(d, p)
+	d := lifetime.Device{Lines: 256, Endurance: 3000, Timing: pcm.DefaultTiming}
+	p := lifetime.RBSGParams{Regions: 8, Interval: 2}
+	model := lifetime.BPAOnRBSG(d, p)
 
 	var sim float64
 	const runs = 4
@@ -41,10 +42,10 @@ func TestBPAOnRBSGMatchesExactSim(t *testing.T) {
 // RTA but far faster than uniform wear-out — the ordering that motivated
 // the paper's security hierarchy.
 func TestBPAOrdering(t *testing.T) {
-	d := PaperDevice()
-	p := RBSGParams{Regions: 32, Interval: 100}
-	bpa := BPAOnRBSG(d, p)
-	rta := RTAOnRBSG(d, p)
+	d := lifetime.PaperDevice()
+	p := lifetime.RBSGParams{Regions: 32, Interval: 100}
+	bpa := lifetime.BPAOnRBSG(d, p)
+	rta := lifetime.RTAOnRBSG(d, p)
 	if !(rta.Seconds < bpa.Seconds && bpa.Seconds < d.IdealSeconds()) {
 		t.Fatalf("ordering broken: rta=%v bpa=%v ideal=%v",
 			rta.Seconds, bpa.Seconds, d.IdealSeconds())
@@ -54,8 +55,8 @@ func TestBPAOrdering(t *testing.T) {
 // TestFocusedOnMultiWayMatchesExactSim: flooding one consecutive
 // sub-region of Multi-Way SR matches the visit-process model.
 func TestFocusedOnMultiWayMatchesExactSim(t *testing.T) {
-	d := Device{Lines: 1 << 10, Endurance: 3000, Timing: pcm.DefaultTiming}
-	model := FocusedOnMultiWay(d, 8, 4)
+	d := lifetime.Device{Lines: 1 << 10, Endurance: 3000, Timing: pcm.DefaultTiming}
+	model := lifetime.FocusedOnMultiWay(d, 8, 4)
 
 	var sim float64
 	const runs = 3
@@ -95,11 +96,11 @@ func TestFocusedOnMultiWayMatchesExactSim(t *testing.T) {
 
 // TestVariationZ sanity: grows with N and sits near the textbook values.
 func TestVariationZ(t *testing.T) {
-	if VariationZ(1) != 0 {
+	if lifetime.VariationZ(1) != 0 {
 		t.Fatal("degenerate case")
 	}
-	z1k := VariationZ(1024)
-	z4m := VariationZ(1 << 22)
+	z1k := lifetime.VariationZ(1024)
+	z4m := lifetime.VariationZ(1 << 22)
 	if !(z1k > 2.5 && z1k < 3.5) {
 		t.Fatalf("z(1024) = %v, want ≈3.2", z1k)
 	}
@@ -112,8 +113,8 @@ func TestVariationZ(t *testing.T) {
 // varied bank driven with perfectly uniform traffic.
 func TestIdealWithVariationMatchesVariedBank(t *testing.T) {
 	const lines, endurance, sigma = 1024, 500, 0.2
-	d := Device{Lines: lines, Endurance: endurance, Timing: pcm.DefaultTiming}
-	model := IdealWithVariation(d, sigma)
+	d := lifetime.Device{Lines: lines, Endurance: endurance, Timing: pcm.DefaultTiming}
+	model := lifetime.IdealWithVariation(d, sigma)
 
 	var sim float64
 	const runs = 3

@@ -1,4 +1,4 @@
-package lifetime
+package lifetime_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 
 	"securityrbsg/internal/attack"
 	"securityrbsg/internal/core"
+	"securityrbsg/internal/lifetime"
 	"securityrbsg/internal/pcm"
 	"securityrbsg/internal/rbsg"
 	"securityrbsg/internal/secref"
@@ -13,7 +14,7 @@ import (
 )
 
 func TestPaperDevice(t *testing.T) {
-	d := PaperDevice()
+	d := lifetime.PaperDevice()
 	if d.Lines != 1<<22 || d.Endurance != 1e8 {
 		t.Fatalf("device drifted: %+v", d)
 	}
@@ -30,7 +31,7 @@ func TestPaperDevice(t *testing.T) {
 func TestBaseline(t *testing.T) {
 	// "an adversary can render a memory line unusable in one minute":
 	// 10^8 writes × 1000 ns = 100 s.
-	e := Baseline(PaperDevice())
+	e := lifetime.Baseline(lifetime.PaperDevice())
 	if e.Seconds != 100 {
 		t.Fatalf("baseline RAA lifetime %v s, want 100", e.Seconds)
 	}
@@ -39,10 +40,10 @@ func TestBaseline(t *testing.T) {
 // TestFig11Headlines checks the paper's three headline numbers for Fig 11
 // at the recommended configuration (32 regions, ψ=100).
 func TestFig11Headlines(t *testing.T) {
-	d := PaperDevice()
-	p := RBSGParams{Regions: 32, Interval: 100}
-	rta := RTAOnRBSG(d, p)
-	raa := RAAOnRBSG(d, p)
+	d := lifetime.PaperDevice()
+	p := lifetime.RBSGParams{Regions: 32, Interval: 100}
+	rta := lifetime.RTAOnRBSG(d, p)
+	raa := lifetime.RAAOnRBSG(d, p)
 	// "RTA fails the PCM in 478 seconds".
 	if rta.Seconds < 430 || rta.Seconds > 530 {
 		t.Errorf("RTA lifetime %.0f s, paper says 478", rta.Seconds)
@@ -55,24 +56,24 @@ func TestFig11Headlines(t *testing.T) {
 
 // TestFig11Trends checks both sweep trends the paper reports.
 func TestFig11Trends(t *testing.T) {
-	d := PaperDevice()
+	d := lifetime.PaperDevice()
 	// Lifetime under RTA decreases as the number of regions increases.
 	prev := math.Inf(1)
 	for _, r := range []uint64{32, 64, 128} {
-		s := RTAOnRBSG(d, RBSGParams{Regions: r, Interval: 100}).Seconds
+		s := lifetime.RTAOnRBSG(d, lifetime.RBSGParams{Regions: r, Interval: 100}).Seconds
 		if s >= prev {
 			t.Errorf("RTA lifetime should fall with region count (R=%d: %v >= %v)", r, s, prev)
 		}
 		prev = s
 	}
 	// Faster wear leveling (smaller ψ) accelerates RTA.
-	if RTAOnRBSG(d, RBSGParams{Regions: 32, Interval: 16}).Seconds >=
-		RTAOnRBSG(d, RBSGParams{Regions: 32, Interval: 100}).Seconds {
+	if lifetime.RTAOnRBSG(d, lifetime.RBSGParams{Regions: 32, Interval: 16}).Seconds >=
+		lifetime.RTAOnRBSG(d, lifetime.RBSGParams{Regions: 32, Interval: 100}).Seconds {
 		t.Error("RTA should be faster at smaller remapping intervals")
 	}
 	// RAA, by contrast, is resisted by more regions (smaller LVF).
-	if RAAOnRBSG(d, RBSGParams{Regions: 128, Interval: 100}).Seconds >=
-		RAAOnRBSG(d, RBSGParams{Regions: 32, Interval: 100}).Seconds {
+	if lifetime.RAAOnRBSG(d, lifetime.RBSGParams{Regions: 128, Interval: 100}).Seconds >=
+		lifetime.RAAOnRBSG(d, lifetime.RBSGParams{Regions: 32, Interval: 100}).Seconds {
 		t.Error("RAA lifetime should shrink with more regions")
 	}
 }
@@ -80,9 +81,9 @@ func TestFig11Trends(t *testing.T) {
 // TestRAAOnRBSGMatchesExactSim cross-validates the closed form against a
 // write-by-write simulation at small scale.
 func TestRAAOnRBSGMatchesExactSim(t *testing.T) {
-	d := Device{Lines: 256, Endurance: 2000, Timing: pcm.DefaultTiming}
-	p := RBSGParams{Regions: 8, Interval: 4}
-	model := RAAOnRBSG(d, p)
+	d := lifetime.Device{Lines: 256, Endurance: 2000, Timing: pcm.DefaultTiming}
+	p := lifetime.RBSGParams{Regions: 8, Interval: 4}
+	model := lifetime.RAAOnRBSG(d, p)
 
 	s := rbsg.MustNew(rbsg.Config{Lines: 256, Regions: 8, Interval: 4, Seed: 1})
 	c := wear.MustNewController(pcm.Config{LineBytes: 256, Endurance: 2000, Timing: pcm.DefaultTiming}, s)
@@ -98,7 +99,7 @@ func TestRAAOnRBSGMatchesExactSim(t *testing.T) {
 // TestFig12Headline: two-level SR at the suggested configuration falls to
 // RTA in ≈178.8 hours.
 func TestFig12Headline(t *testing.T) {
-	e := RTAOnTwoLevelSRAvg(PaperDevice(), SuggestedSRParams(), 5, 1)
+	e := lifetime.RTAOnTwoLevelSRAvg(lifetime.PaperDevice(), lifetime.SuggestedSRParams(), 5, 1)
 	h := e.Seconds / 3600
 	if h < 140 || h > 230 {
 		t.Fatalf("two-level SR under RTA: %.1f h, paper says 178.8", h)
@@ -108,13 +109,13 @@ func TestFig12Headline(t *testing.T) {
 // TestFig13Headline: two-level SR under RAA lives ≈105 months, 322×
 // longer than under RTA.
 func TestFig13Headline(t *testing.T) {
-	d := PaperDevice()
-	raa := RAAOnTwoLevelSR(d, SuggestedSRParams())
+	d := lifetime.PaperDevice()
+	raa := lifetime.RAAOnTwoLevelSR(d, lifetime.SuggestedSRParams())
 	months := raa.Seconds / 86400 / 30
 	if months < 85 || months > 130 {
 		t.Fatalf("two-level SR under RAA: %.0f months, paper says ≈105", months)
 	}
-	rta := RTAOnTwoLevelSRAvg(d, SuggestedSRParams(), 5, 1)
+	rta := lifetime.RTAOnTwoLevelSRAvg(d, lifetime.SuggestedSRParams(), 5, 1)
 	if ratio := raa.Seconds / rta.Seconds; ratio < 200 || ratio > 600 {
 		t.Fatalf("RAA/RTA ratio %.0f, paper says 322", ratio)
 	}
@@ -123,16 +124,16 @@ func TestFig13Headline(t *testing.T) {
 // TestFig12Trends: more sub-regions and larger outer intervals both
 // shorten the RTA lifetime.
 func TestFig12Trends(t *testing.T) {
-	d := PaperDevice()
-	base := SuggestedSRParams()
+	d := lifetime.PaperDevice()
+	base := lifetime.SuggestedSRParams()
 	more := base
 	more.Regions = 1024
-	if RTAOnTwoLevelSR(d, more, 0.75).Seconds >= RTAOnTwoLevelSR(d, base, 0.75).Seconds {
+	if lifetime.RTAOnTwoLevelSR(d, more, 0.75).Seconds >= lifetime.RTAOnTwoLevelSR(d, base, 0.75).Seconds {
 		t.Error("more sub-regions should shorten RTA lifetime")
 	}
 	longer := base
 	longer.OuterInterval = 256
-	if RTAOnTwoLevelSR(d, longer, 0.75).Seconds >= RTAOnTwoLevelSR(d, base, 0.75).Seconds {
+	if lifetime.RTAOnTwoLevelSR(d, longer, 0.75).Seconds >= lifetime.RTAOnTwoLevelSR(d, base, 0.75).Seconds {
 		t.Error("longer outer interval should shorten RTA lifetime")
 	}
 }
@@ -140,9 +141,9 @@ func TestFig12Trends(t *testing.T) {
 // TestRAAOnTwoLevelSRMatchesExactSim cross-validates the Poisson
 // extreme-value model against the real scheme under RAA at small scale.
 func TestRAAOnTwoLevelSRMatchesExactSim(t *testing.T) {
-	d := Device{Lines: 1 << 10, Endurance: 3000, Timing: pcm.DefaultTiming}
-	p := SRParams{Regions: 8, InnerInterval: 4, OuterInterval: 8}
-	model := RAAOnTwoLevelSR(d, p)
+	d := lifetime.Device{Lines: 1 << 10, Endurance: 3000, Timing: pcm.DefaultTiming}
+	p := lifetime.SRParams{Regions: 8, InnerInterval: 4, OuterInterval: 8}
+	model := lifetime.RAAOnTwoLevelSR(d, p)
 
 	var simWrites float64
 	const runs = 3
@@ -166,11 +167,11 @@ func TestRAAOnTwoLevelSRMatchesExactSim(t *testing.T) {
 // TestFig14Shape: the stage sweep must rise steeply from 3 stages and
 // saturate, with BPA flat (stage-independent) near the saturation level.
 func TestFig14Shape(t *testing.T) {
-	d, p := ScaledSRBSGExperiment(0)
+	d, p := lifetime.ScaledSRBSGExperiment(0)
 
 	frac := func(stages int) float64 {
 		p.Stages = stages
-		e, err := RAAOnSecurityRBSGAvg(d, p, 3, 42)
+		e, err := lifetime.RAAOnSecurityRBSGAvg(d, p, 3, 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestFig14Shape(t *testing.T) {
 		t.Fatalf("many stages should approach the BPA level, got %.2f", f14)
 	}
 	p.Stages = 7
-	bpa := BPAOnSecurityRBSG(d, p)
+	bpa := lifetime.BPAOnSecurityRBSG(d, p)
 	if bpa.FractionOfIdeal < 0.55 || bpa.FractionOfIdeal > 0.8 {
 		t.Fatalf("BPA fraction %.3f, paper says 0.664", bpa.FractionOfIdeal)
 	}
@@ -196,15 +197,15 @@ func TestFig14Shape(t *testing.T) {
 // TestFig15Trend: Security RBSG's RAA lifetime *increases* with the outer
 // interval — the opposite of SR under RTA, as the paper highlights.
 func TestFig15Trend(t *testing.T) {
-	d, short := ScaledSRBSGExperiment(7)
+	d, short := lifetime.ScaledSRBSGExperiment(7)
 	short.OuterInterval = 16
 	long := short
 	long.OuterInterval = 256
-	a, err := RAAOnSecurityRBSGAvg(d, short, 3, 7)
+	a, err := lifetime.RAAOnSecurityRBSGAvg(d, short, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RAAOnSecurityRBSGAvg(d, long, 3, 7)
+	b, err := lifetime.RAAOnSecurityRBSGAvg(d, long, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,9 +218,9 @@ func TestFig15Trend(t *testing.T) {
 // TestRAAOnSecurityRBSGMatchesExactSim cross-validates the arc-deposit
 // Monte-Carlo against the real scheme driven write by write.
 func TestRAAOnSecurityRBSGMatchesExactSim(t *testing.T) {
-	d := Device{Lines: 256, Endurance: 5000, Timing: pcm.DefaultTiming}
-	p := SRBSGParams{Regions: 8, InnerInterval: 4, OuterInterval: 8, Stages: 7}
-	model, err := RAAOnSecurityRBSGAvg(d, p, 5, 3)
+	d := lifetime.Device{Lines: 256, Endurance: 5000, Timing: pcm.DefaultTiming}
+	p := lifetime.SRBSGParams{Regions: 8, InnerInterval: 4, OuterInterval: 8, Stages: 7}
+	model, err := lifetime.RAAOnSecurityRBSGAvg(d, p, 5, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,8 +247,8 @@ func TestRAAOnSecurityRBSGMatchesExactSim(t *testing.T) {
 // TestRTAOnSecurityRBSG: secure configurations fall back to RAA-grade
 // lifetimes; leaky ones collapse toward the SR attack model.
 func TestRTAOnSecurityRBSG(t *testing.T) {
-	d, p := ScaledSRBSGExperiment(8)
-	est, secure, err := RTAOnSecurityRBSG(d, p, 1)
+	d, p := lifetime.ScaledSRBSGExperiment(8)
+	est, secure, err := lifetime.RTAOnSecurityRBSG(d, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestRTAOnSecurityRBSG(t *testing.T) {
 		t.Fatal("8 stages × 18 bits = 144 ≥ 128 should be secure")
 	}
 	p.Stages = 3 // 54 < 128: leaks
-	weak, secure2, err := RTAOnSecurityRBSG(d, p, 1)
+	weak, secure2, err := lifetime.RTAOnSecurityRBSG(d, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,8 +271,8 @@ func TestRTAOnSecurityRBSG(t *testing.T) {
 // TestWriteDistributionApproachesUniform reproduces Fig 16's trend: the
 // normalized accumulated write curve straightens as total writes grow.
 func TestWriteDistributionApproachesUniform(t *testing.T) {
-	d := ScaledDevice(1<<16, 1e12)
-	p := SRBSGParams{Regions: 64, InnerInterval: 16, OuterInterval: 32, Stages: 7}
+	d := lifetime.ScaledDevice(1<<16, 1e12)
+	p := lifetime.SRBSGParams{Regions: 64, InnerInterval: 16, OuterInterval: 32, Stages: 7}
 	err1 := distUniformityError(t, d, p, 2e8)
 	err2 := distUniformityError(t, d, p, 2e10)
 	if err2 >= err1 {
@@ -282,9 +283,9 @@ func TestWriteDistributionApproachesUniform(t *testing.T) {
 	}
 }
 
-func distUniformityError(t *testing.T, d Device, p SRBSGParams, writes float64) float64 {
+func distUniformityError(t *testing.T, d lifetime.Device, p lifetime.SRBSGParams, writes float64) float64 {
 	t.Helper()
-	counts, err := WriteDistribution(d, p, writes, 9)
+	counts, err := lifetime.WriteDistribution(d, p, writes, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,22 +313,11 @@ func uniformityError(counts []uint32) float64 {
 	return worst
 }
 
-func TestArcSimValidation(t *testing.T) {
-	d := Device{Lines: 100, Endurance: 10, Timing: pcm.DefaultTiming}
-	if _, err := newArcSim(d, SRBSGParams{Regions: 4, InnerInterval: 1, OuterInterval: 1, Stages: 3}, 1); err == nil {
-		t.Error("non-power-of-two lines must fail")
-	}
-	d = Device{Lines: 128, Endurance: 1 << 40, Timing: pcm.DefaultTiming}
-	if _, err := newArcSim(d, SRBSGParams{Regions: 4, InnerInterval: 1, OuterInterval: 1, Stages: 3}, 1); err == nil {
-		t.Error("visit-threshold overflow must fail")
-	}
-}
-
 func TestBPAInsensitiveToStages(t *testing.T) {
-	d, p := ScaledSRBSGExperiment(3)
-	a := BPAOnSecurityRBSG(d, p)
+	d, p := lifetime.ScaledSRBSGExperiment(3)
+	a := lifetime.BPAOnSecurityRBSG(d, p)
 	p.Stages = 20
-	b := BPAOnSecurityRBSG(d, p)
+	b := lifetime.BPAOnSecurityRBSG(d, p)
 	if a.FractionOfIdeal != b.FractionOfIdeal {
 		t.Fatalf("BPA must not depend on stage count: %.4f vs %.4f",
 			a.FractionOfIdeal, b.FractionOfIdeal)
@@ -335,7 +325,7 @@ func TestBPAInsensitiveToStages(t *testing.T) {
 }
 
 func TestRAAOnStartGapLabel(t *testing.T) {
-	e := RAAOnStartGap(PaperDevice(), 100)
+	e := lifetime.RAAOnStartGap(lifetime.PaperDevice(), 100)
 	if e.Scheme != "start-gap" {
 		t.Fatal("label")
 	}

@@ -1,9 +1,10 @@
-package lifetime
+package lifetime_test
 
 import (
 	"testing"
 
 	"securityrbsg/internal/attack"
+	"securityrbsg/internal/lifetime"
 	"securityrbsg/internal/pcm"
 	"securityrbsg/internal/rbsg"
 	"securityrbsg/internal/wear"
@@ -23,8 +24,8 @@ func TestRTAOnRBSGModelVsRealAttack(t *testing.T) {
 		interval  = 4
 		endurance = 500
 	)
-	d := Device{Lines: lines, Endurance: endurance, Timing: pcm.DefaultTiming}
-	model := RTAOnRBSG(d, RBSGParams{Regions: regions, Interval: interval})
+	d := lifetime.Device{Lines: lines, Endurance: endurance, Timing: pcm.DefaultTiming}
+	model := lifetime.RTAOnRBSG(d, lifetime.RBSGParams{Regions: regions, Interval: interval})
 
 	s := rbsg.MustNew(rbsg.Config{Lines: lines, Regions: regions, Interval: interval, Seed: 5})
 	c := wear.MustNewController(pcm.Config{
@@ -45,7 +46,7 @@ func TestRTAOnRBSGModelVsRealAttack(t *testing.T) {
 		t.Fatalf("model %v writes vs real attack %v (ratio %.2f)", model.Writes, res.Writes, ratio)
 	}
 
-	raa := RAAOnRBSG(d, RBSGParams{Regions: regions, Interval: interval})
+	raa := lifetime.RAAOnRBSG(d, lifetime.RBSGParams{Regions: regions, Interval: interval})
 	if model.Writes >= raa.Writes || float64(res.Writes) >= raa.Writes {
 		t.Fatal("RTA must be far cheaper than RAA in both model and reality")
 	}

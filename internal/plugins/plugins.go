@@ -1,0 +1,21 @@
+// Package plugins pulls every in-tree scheme, attack and accelerator
+// plugin into the registry via their init() registrations. Import it for
+// side effects from any binary or test that composes cells by name:
+//
+//	import _ "securityrbsg/internal/plugins"
+//
+// The registry itself stays import-light (it knows only wear/pcm/stats/
+// lifetime); this package is the one place that links the full plugin
+// set, so model-only consumers can keep their binaries lean by importing
+// individual plugin packages instead.
+package plugins
+
+import (
+	_ "securityrbsg/internal/attack"   // raa, bpa, aia, rta
+	_ "securityrbsg/internal/core"     // security-rbsg
+	_ "securityrbsg/internal/detector" // rbsg+detector
+	_ "securityrbsg/internal/exactsim" // exact-tier accelerator
+	_ "securityrbsg/internal/rbsg"     // rbsg
+	_ "securityrbsg/internal/secref"   // security-refresh, two-level-sr, multiway-sr
+	_ "securityrbsg/internal/startgap" // start-gap
+)

@@ -1,0 +1,35 @@
+package rbsg
+
+import (
+	"securityrbsg/internal/registry"
+	"securityrbsg/internal/wear"
+)
+
+// The registry entry for plain Region-Based Start-Gap: the scheme the
+// paper's RTA breaks, kept as a tournament victim. Defaults follow the
+// RBSG paper's recommended configuration (R=32, ψ=100).
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "rbsg",
+		Doc:  "Region-Based Start-Gap: static randomizer + per-region Start-Gap",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.Regions == 0 {
+				cfg.Regions = 32
+				for cfg.Regions > cfg.Lines {
+					cfg.Regions /= 2
+				}
+			}
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 100
+			}
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			return New(Config{
+				Lines: cfg.Lines, Regions: cfg.Regions,
+				Interval: cfg.InnerInterval, Seed: cfg.Seed,
+			})
+		},
+	})
+}

@@ -1,0 +1,20 @@
+package registry
+
+import "securityrbsg/internal/wear"
+
+// The "none" baseline registers here rather than in internal/wear:
+// wear is below the registry in the import graph (the registry's Env and
+// Accelerator are built from wear types), so it cannot import the
+// registry the way the scheme packages do.
+func init() {
+	RegisterScheme(Scheme{
+		Name: "none",
+		Doc:  "identity mapping, no wear leveling — the paper's baseline",
+		// Never remaps, so there is no remapping-latency side channel for
+		// timing attacks to read.
+		Caps: SchemeCaps{Exact: true, TimingOracle: false},
+		New: func(cfg Config) (wear.Scheme, error) {
+			return wear.NewPassthrough(cfg.Lines), nil
+		},
+	})
+}

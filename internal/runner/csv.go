@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV renders a Report as one CSV row per cell: the cell ID, the
+// sorted union of label keys, the cell status, and the sorted union of
+// metric names. Cells missing a label or metric leave that field empty.
+//
+// The emission is deterministic: column order derives from sorted key
+// sets, row order is grid order, and runtime telemetry (wall seconds,
+// writes/sec) is deliberately excluded so two runs of the same grid —
+// sharded differently, resumed, or not — produce byte-identical files.
+// Telemetry belongs in the Meta JSON (WriteMetaFile), not here.
+func WriteCSV(w io.Writer, rep *Report) error {
+	labelKeys := map[string]struct{}{}
+	metricKeys := map[string]struct{}{}
+	for _, c := range rep.Results {
+		for k := range c.Labels {
+			labelKeys[k] = struct{}{}
+		}
+		for k := range c.Metrics.Values {
+			metricKeys[k] = struct{}{}
+		}
+	}
+	labels := sortedKeys(labelKeys)
+	metrics := sortedKeys(metricKeys)
+
+	cw := csv.NewWriter(w)
+	header := append(append([]string{"cell"}, labels...), "status")
+	header = append(header, metrics...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range rep.Results {
+		row := make([]string, 0, len(header))
+		row = append(row, c.ID)
+		for _, k := range labels {
+			row = append(row, c.Labels[k])
+		}
+		// Whether a cell ran now or was satisfied from a checkpoint is
+		// provenance, not result: fold it away so resumed runs emit the
+		// same bytes as fresh ones.
+		status := c.Status
+		if status == StatusResumed {
+			status = StatusDone
+		}
+		row = append(row, string(status))
+		for _, k := range metrics {
+			v, ok := c.Metrics.Values[k]
+			if !ok {
+				row = append(row, "")
+				continue
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the Report's CSV atomically (temp file + rename),
+// so a crash mid-write never leaves a truncated report behind.
+func WriteCSVFile(path string, rep *Report) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".csv-*")
+	if err != nil {
+		return fmt.Errorf("runner: csv: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteCSV(tmp, rep); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runner: csv: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runner: csv: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

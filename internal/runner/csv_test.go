@@ -1,0 +1,118 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func csvReport() *Report {
+	return &Report{
+		Grid: "t",
+		Results: []CellResult{
+			{
+				ID:     "b-cell",
+				Labels: map[string]string{"scheme": "rbsg", "attack": "raa"},
+				Status: StatusDone,
+				Metrics: Metrics{Values: map[string]float64{
+					"writes": 1234567, "wear_gini": 0.25,
+				}},
+				WallSeconds:  3.5,
+				WritesPerSec: 1e6,
+			},
+			{
+				ID:     "a-cell",
+				Labels: map[string]string{"scheme": "none"},
+				Status: StatusResumed,
+				Metrics: Metrics{Values: map[string]float64{
+					"writes": 42, "extra": 0.5,
+				}},
+				WallSeconds: 99,
+			},
+		},
+	}
+}
+
+func TestWriteCSVDeterministic(t *testing.T) {
+	rep := csvReport()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	want := "cell,attack,scheme,status,extra,wear_gini,writes\n" +
+		"b-cell,raa,rbsg,done,,0.25,1.234567e+06\n" +
+		"a-cell,,none,done,0.5,,42\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("CSV bytes:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteCSVFoldsResumed: a resumed cell must emit "done" — resume
+// provenance must never make a rerun's CSV differ from a fresh run's.
+func TestWriteCSVFoldsResumed(t *testing.T) {
+	fresh := csvReport()
+	resumed := csvReport()
+	for i := range resumed.Results {
+		resumed.Results[i].Status = StatusResumed
+		// Telemetry differs wildly across runs; it must not leak into CSV.
+		resumed.Results[i].WallSeconds *= 17
+		resumed.Results[i].WritesPerSec = 0
+	}
+	for i := range fresh.Results {
+		fresh.Results[i].Status = StatusDone
+	}
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("resumed CSV differs from fresh:\n%s\nvs\n%s", b.String(), a.String())
+	}
+}
+
+// Failure statuses, by contrast, must survive into the file: a partial
+// run's CSV has to say which cells are missing.
+func TestWriteCSVKeepsFailureStatuses(t *testing.T) {
+	rep := csvReport()
+	rep.Results[0].Status = StatusFailed
+	rep.Results[1].Status = StatusCancelled
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(",failed,")) ||
+		!bytes.Contains(buf.Bytes(), []byte(",cancelled,")) {
+		t.Fatalf("failure statuses folded away:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSVFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteCSVFile(path, csvReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, csvReport()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Fatal("file contents differ from direct emission")
+	}
+	// No temp-file droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files in dir: %v", entries)
+	}
+}

@@ -1,0 +1,81 @@
+package secref
+
+import (
+	"securityrbsg/internal/registry"
+	"securityrbsg/internal/stats"
+	"securityrbsg/internal/wear"
+)
+
+// defaultRegions scales the paper's suggested 512 sub-regions down with
+// the geometry so small tournament devices keep a meaningful region size
+// (≥16 lines per region), staying a power of two dividing lines.
+func defaultRegions(lines uint64) uint64 {
+	r := uint64(512)
+	for r > 1 && lines/r < 16 {
+		r /= 2
+	}
+	return r
+}
+
+// Registry entries for the Security Refresh family: the one-level and
+// two-level schemes of Seong et al. (the paper's main comparison points)
+// and the Multi-Way SR variant whose consecutive sub-regions the focused
+// attack tracks.
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "security-refresh",
+		Doc:  "one-level Security Refresh: single XOR-keyed swap domain",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 32
+			}
+			cfg.Regions = 1 // structural: one domain over the whole space
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			return NewOneLevel(cfg.Lines, cfg.InnerInterval, 0, stats.NewRNG(cfg.Seed))
+		},
+	})
+	registry.RegisterScheme(registry.Scheme{
+		Name: "two-level-sr",
+		Doc:  "two-level Security Refresh: outer domain over inner sub-region domains",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.Regions == 0 {
+				cfg.Regions = defaultRegions(cfg.Lines)
+			}
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 64
+			}
+			if cfg.OuterInterval == 0 {
+				cfg.OuterInterval = 128
+			}
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			return NewTwoLevel(TwoLevelConfig{
+				Lines: cfg.Lines, Regions: cfg.Regions,
+				InnerInterval: cfg.InnerInterval, OuterInterval: cfg.OuterInterval,
+				Seed: cfg.Seed,
+			})
+		},
+	})
+	registry.RegisterScheme(registry.Scheme{
+		Name: "multiway-sr",
+		Doc:  "Multi-Way SR: independent one-level SR per consecutive sub-region",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.Regions == 0 {
+				cfg.Regions = defaultRegions(cfg.Lines)
+			}
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 64
+			}
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			return NewMultiWay(cfg.Lines, cfg.Regions, cfg.InnerInterval, cfg.Seed)
+		},
+	})
+}

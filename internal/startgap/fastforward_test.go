@@ -1,0 +1,110 @@
+package startgap
+
+import (
+	"testing"
+
+	"securityrbsg/internal/schemetest"
+)
+
+func mustSingle(t *testing.T, n, interval uint64) *Single {
+	t.Helper()
+	s, err := NewSingle(n, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFastForwardDifferential drives two identical Singles through the
+// same pinned write stream — one write by write, one through the
+// WritesToNextRemap/SkipWrites fast path — and asserts the scheme state
+// is bit-identical afterwards. This is the exactness contract of
+// wear.FastForwarder, checked at the scheme layer (internal/exactsim
+// checks it again with a bank underneath).
+func TestFastForwardDifferential(t *testing.T) {
+	const (
+		n     = 32
+		psi   = 7
+		la    = 5
+		total = 3 * (n + 1) * psi / 2 // ~1.5 rotation rounds
+	)
+	naive := mustSingle(t, n, psi)
+	fast := mustSingle(t, n, psi)
+	mn := schemetest.NewTokenMover(naive)
+	mf := schemetest.NewTokenMover(fast)
+
+	for i := 0; i < total; i++ {
+		naive.NoteWrite(la, mn)
+	}
+
+	issued := uint64(0)
+	for issued < total {
+		k := fast.WritesToNextRemap(la)
+		if k == 0 {
+			t.Fatal("WritesToNextRemap returned 0 (contract says ≥ 1)")
+		}
+		if batch := k - 1; batch > 0 {
+			if rem := uint64(total) - issued; batch > rem {
+				batch = rem
+			}
+			// The movement-free prefix: translation must be frozen across it.
+			before := fast.Translate(la)
+			fast.SkipWrites(la, batch)
+			if after := fast.Translate(la); after != before {
+				t.Fatalf("SkipWrites moved the mapping: %d -> %d", before, after)
+			}
+			issued += batch
+			if issued == total {
+				break
+			}
+		}
+		// The epoch's firing write goes through the ordinary path.
+		fast.NoteWrite(la, mf)
+		issued++
+	}
+
+	if naive.Start() != fast.Start() || naive.Gap() != fast.Gap() {
+		t.Fatalf("registers diverged: naive start=%d gap=%d, fast start=%d gap=%d",
+			naive.Start(), naive.Gap(), fast.Start(), fast.Gap())
+	}
+	if naive.Movements() != fast.Movements() || naive.Rounds() != fast.Rounds() {
+		t.Fatalf("movement books diverged: naive %d/%d, fast %d/%d",
+			naive.Movements(), naive.Rounds(), fast.Movements(), fast.Rounds())
+	}
+	for a := uint64(0); a < n; a++ {
+		if naive.Translate(a) != fast.Translate(a) {
+			t.Fatalf("Translate(%d) diverged: %d vs %d", a, naive.Translate(a), fast.Translate(a))
+		}
+	}
+	if err := schemetest.Verify(fast, mf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastForwardBound pins the closed form itself: after w writes into
+// an interval of ψ, exactly ψ−w writes remain until the next movement,
+// and skipping right up to (but not onto) that boundary is legal while
+// crossing it panics.
+func TestFastForwardBound(t *testing.T) {
+	const psi = 10
+	s := mustSingle(t, 8, psi)
+	m := schemetest.NewTokenMover(s)
+	for w := uint64(0); w < psi-1; w++ {
+		if got := s.WritesToNextRemap(3); got != psi-w {
+			t.Fatalf("after %d writes: WritesToNextRemap = %d, want %d", w, got, psi-w)
+		}
+		s.NoteWrite(3, m)
+	}
+
+	s2 := mustSingle(t, 8, psi)
+	s2.SkipWrites(0, psi-1) // legal: lands one short of the boundary
+	if got := s2.WritesToNextRemap(0); got != 1 {
+		t.Fatalf("after max skip: WritesToNextRemap = %d, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SkipWrites across a movement boundary must panic")
+		}
+	}()
+	s2.SkipWrites(0, 1)
+}

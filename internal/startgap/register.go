@@ -1,0 +1,28 @@
+package startgap
+
+import (
+	"securityrbsg/internal/registry"
+	"securityrbsg/internal/wear"
+)
+
+// The registry entry for plain (single-region) Start-Gap — structurally
+// RBSG with one region and the identity randomizer, so the RBSG timing
+// attack applies to it directly. Default interval is the Start-Gap
+// paper's ψ=100.
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "start-gap",
+		Doc:  "plain Start-Gap over the whole bank, no randomization",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		Defaults: func(cfg registry.Config) registry.Config {
+			if cfg.InnerInterval == 0 {
+				cfg.InnerInterval = 100
+			}
+			cfg.Regions = 1 // structural: one region is what "start-gap" means
+			return cfg
+		},
+		New: func(cfg registry.Config) (wear.Scheme, error) {
+			return NewSingle(cfg.Lines, cfg.InnerInterval)
+		},
+	})
+}

@@ -178,3 +178,16 @@ func (s *Single) NoteWrite(la uint64, m wear.Mover) uint64 {
 	_ = la // a single region counts every write
 	return s.Region.NoteWrite(m)
 }
+
+// WritesToNextRemap implements wear.FastForwarder: the region counts
+// every write regardless of address.
+func (s *Single) WritesToNextRemap(la uint64) uint64 {
+	_ = la
+	return s.Region.WritesToNextMove()
+}
+
+// SkipWrites implements wear.FastForwarder.
+func (s *Single) SkipWrites(la, k uint64) {
+	_ = la
+	s.Region.SkipWrites(k)
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGiniEdgeCases(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("Gini(nil) = %v", g)
+	}
+	if g := Gini([]uint32{0, 0, 0, 0}); g != 0 {
+		t.Fatalf("Gini of zero wear = %v", g)
+	}
+	if g := Gini([]uint32{7, 7, 7, 7, 7}); math.Abs(g) > 1e-12 {
+		t.Fatalf("Gini of uniform wear = %v, want 0", g)
+	}
+}
+
+// All wear on one of n lines is the most unequal distribution a bank can
+// show; its Gini is (n-1)/n.
+func TestGiniConcentration(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024} {
+		counts := make([]uint32, n)
+		counts[n/2] = 5000
+		want := float64(n-1) / float64(n)
+		if g := Gini(counts); math.Abs(g-want) > 1e-12 {
+			t.Fatalf("n=%d: Gini = %v, want %v", n, g, want)
+		}
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// Hand-computed: sorted 1,2,3,4 gives 2·30/(4·10) − 5/4 = 0.25.
+	if g := Gini([]uint32{3, 1, 4, 2}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini(1,2,3,4) = %v, want 0.25", g)
+	}
+}
+
+func TestGiniOrderInvariantAndNonMutating(t *testing.T) {
+	in := []uint32{9, 1, 5, 5, 0, 80}
+	orig := append([]uint32(nil), in...)
+	g1 := Gini(in)
+	for i := range in {
+		if in[i] != orig[i] {
+			t.Fatal("Gini mutated its input")
+		}
+	}
+	rev := []uint32{80, 0, 5, 5, 1, 9}
+	if g2 := Gini(rev); g1 != g2 {
+		t.Fatalf("Gini depends on input order: %v vs %v", g1, g2)
+	}
+}
+
+// Spreading a fixed wear budget across more lines strictly lowers Gini —
+// the monotonicity the tournament's wear-evenness column relies on.
+func TestGiniMonotoneInSpread(t *testing.T) {
+	const lines, budget = 64, 6400
+	prev := math.Inf(1)
+	for _, hot := range []int{1, 2, 8, 32, 64} {
+		counts := make([]uint32, lines)
+		for i := 0; i < hot; i++ {
+			counts[i] = uint32(budget / hot)
+		}
+		g := Gini(counts)
+		if g >= prev {
+			t.Fatalf("hot=%d: Gini %v did not drop below %v", hot, g, prev)
+		}
+		if g < 0 || g > 1 {
+			t.Fatalf("hot=%d: Gini %v outside [0,1]", hot, g)
+		}
+		prev = g
+	}
+}

@@ -148,6 +148,32 @@ func UniformityError(counts []uint32) float64 {
 	return worst
 }
 
+// Gini returns the Gini coefficient of the wear distribution: 0 means
+// every line absorbed the same wear, values toward 1 mean the wear is
+// concentrated on few lines. Alongside UniformityError it is the
+// tournament's per-cell wear-evenness metric: Gini weighs the whole
+// distribution where UniformityError reports only the worst deviation.
+// counts is not modified.
+func Gini(counts []uint32) float64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]uint32, n)
+	copy(sorted, counts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total, weighted float64
+	for i, c := range sorted {
+		total += float64(c)
+		weighted += float64(i+1) * float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	fn := float64(n)
+	return 2*weighted/(fn*total) - (fn+1)/fn
+}
+
 // Histogram is a fixed-width bucket histogram over [lo, hi).
 type Histogram struct {
 	Lo, Hi  float64
