@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt fmt-check vet lint test race race-sweep bench-smoke bench-record bench-gate profile serve serve-smoke loadgen tournament-smoke tournament-nightly ci
+.PHONY: build fmt fmt-check vet lint test race race-sweep bench-smoke bench-record bench-gate profile serve serve-smoke adaptive-smoke loadgen tournament-smoke tournament-nightly ci
 
 build:
 	$(GO) build ./...
@@ -49,7 +49,7 @@ race-sweep:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Re-record the committed benchmark baseline (BENCH_5.json). Run on a
+# Re-record the committed benchmark baseline (BENCH_7.json). Run on a
 # quiet machine; commit the result with an explanation of what moved.
 bench-record:
 	./scripts/bench_record.sh
@@ -77,6 +77,13 @@ loadgen:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Closed-loop adaptive-level check: boot memctld with -scheme
+# srbsg+adaptive, assert a benign stream never raises the level and the
+# escalating attack stream raises it at least once (with loadgen
+# reporting the time to first escalation), then drain cleanly.
+adaptive-smoke:
+	./scripts/adaptive_smoke.sh
+
 # Full registered scheme×attack matrix at smoke scale (2^10 lines)
 # through cmd/tournament: every playable registry cell must complete,
 # and a checkpointed rerun must emit a byte-identical CSV.
@@ -91,4 +98,4 @@ tournament-nightly:
 		-ckpt .tournament-ckpt -resume \
 		-out tournament.csv -meta runmeta.tournament.json
 
-ci: fmt-check test lint race race-sweep bench-smoke bench-gate serve-smoke tournament-smoke
+ci: fmt-check test lint race race-sweep bench-smoke bench-gate serve-smoke adaptive-smoke tournament-smoke

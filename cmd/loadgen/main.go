@@ -5,16 +5,22 @@
 //
 // Streams (-pattern):
 //
-//	uniform — independent uniform lines, MIXED data: benign traffic
-//	          that spreads across banks and regions (detector stays quiet)
-//	hotspot — Zipf-distributed lines: skewed but honest traffic
-//	attack  — every worker hammers one line with ALL-1 data, the
-//	          repeated-address shape of the paper's RAA; the per-bank
-//	          detector must alarm on it
+//	uniform  — independent uniform lines, MIXED data: benign traffic
+//	           that spreads across banks and regions (detector stays quiet)
+//	hotspot  — Zipf-distributed lines: skewed but honest traffic
+//	attack   — every worker hammers one line with ALL-1 data, the
+//	           repeated-address shape of the paper's RAA; the per-bank
+//	           detector must alarm on it
+//	escalate — starts uniform and progressively concentrates on one
+//	           line over -ramp ops per worker: an attack emerging from
+//	           benign cover, the stream the adaptive security level
+//	           (memctld -scheme srbsg+adaptive) is built to answer
 //
 // After the run it prints sustained line-ops/s, a wall-clock latency
 // histogram with p50/p90/p99, and the server-side /metrics counters
-// (remap events, detector alarms, wear percentiles).
+// (remap events, detector alarms, wear percentiles). For the attack and
+// escalate streams it also reports the time to first escalation: how
+// long until the server's level_raises_total counter first moved.
 //
 // Usage:
 //
@@ -40,9 +46,10 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	batch := flag.Int("batch", 256, "lines per /v1/batch request")
-	pattern := flag.String("pattern", "uniform", "uniform|hotspot|attack")
+	pattern := flag.String("pattern", "uniform", "uniform|hotspot|attack|escalate")
 	readShare := flag.Float64("reads", 0.0, "fraction of ops issued as reads")
 	zipfS := flag.Float64("zipf", 1.2, "Zipf skew for -pattern hotspot")
+	ramp := flag.Uint64("ramp", 50_000, "ops per worker over which -pattern escalate ramps to a pure hammer")
 	seed := flag.Uint64("seed", 1, "address-stream seed")
 	flag.Parse()
 
@@ -64,6 +71,14 @@ func main() {
 	//rbsglint:allow simdeterminism -- loadgen measures real wall-clock throughput of a live server; that is the product, not simulation state
 	start := time.Now()
 	deadline := start.Add(*duration)
+
+	// For the attack-shaped streams, watch for the adaptive level's first
+	// escalation while the load runs (no-op against non-adaptive schemes:
+	// the counter never moves).
+	var watcher *escalationWatcher
+	if *pattern == "attack" || *pattern == "escalate" {
+		watcher = watchEscalation(client, before["memctld_level_raises_total"], start, deadline)
+	}
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -71,7 +86,7 @@ func main() {
 			results[w] = runWorker(*addr, workerConfig{
 				id: w, lines: lines, batch: *batch,
 				pattern: *pattern, readShare: *readShare,
-				zipfS: *zipfS, seed: *seed + uint64(w)*7919,
+				zipfS: *zipfS, ramp: *ramp, seed: *seed + uint64(w)*7919,
 			}, deadline)
 		}(w)
 	}
@@ -107,6 +122,51 @@ func main() {
 	fmt.Printf("wear: p50 %.0f p90 %.0f p99 %.0f (per-bank sums), failed lines %.0f\n",
 		after["memctld_wear_p50"], after["memctld_wear_p90"], after["memctld_wear_p99"],
 		after["memctld_failed_lines"])
+	if watcher != nil {
+		if ttfe, writes, ok := watcher.wait(); ok {
+			fmt.Printf("adaptive level: first escalation after %v (~%.0f demand writes); +%.0f raises, +%.0f lowers this run\n",
+				ttfe.Round(time.Millisecond), writes,
+				delta("memctld_level_raises_total"), delta("memctld_level_lowers_total"))
+		} else if after["memctld_security_level"] > 0 {
+			fmt.Printf("adaptive level: no escalation within %v\n", elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// escalationWatcher polls /metrics until level_raises_total moves past
+// its pre-run value, recording when (wall clock) and roughly how many
+// demand writes the server had absorbed.
+type escalationWatcher struct {
+	done   chan struct{}
+	ttfe   time.Duration
+	writes float64
+	ok     bool
+}
+
+func watchEscalation(c *memserver.Client, baseline float64, start, deadline time.Time) *escalationWatcher {
+	w := &escalationWatcher{done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		//rbsglint:allow simdeterminism -- time-to-first-escalation is a wall-clock measurement of a live server
+		for time.Now().Before(deadline) {
+			m, err := c.Metrics()
+			if err == nil && m["memctld_level_raises_total"] > baseline {
+				//rbsglint:allow simdeterminism -- time-to-first-escalation is a wall-clock measurement of a live server
+				w.ttfe = time.Since(start)
+				w.writes = m["memctld_demand_writes_total"]
+				w.ok = true
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	return w
+}
+
+// wait blocks until the watcher finishes (escalation seen or deadline).
+func (w *escalationWatcher) wait() (time.Duration, float64, bool) {
+	<-w.done
+	return w.ttfe, w.writes, w.ok
 }
 
 type workerConfig struct {
@@ -116,6 +176,7 @@ type workerConfig struct {
 	pattern   string
 	readShare float64
 	zipfS     float64
+	ramp      uint64
 	seed      uint64
 }
 
@@ -145,6 +206,24 @@ func runWorker(addr string, cfg workerConfig, deadline time.Time) workerResult {
 		// detector watches for.
 		content = 1
 		next = func() uint64 { return 0 }
+	case "escalate":
+		// An attack emerging from benign cover: op n hammers line 0 with
+		// probability n/ramp (else a uniform line), so the stream starts
+		// indistinguishable from uniform and ramps to a pure RAA. The
+		// adaptive level should escalate partway up the ramp.
+		var issued uint64
+		ramp := cfg.ramp
+		if ramp == 0 {
+			ramp = 1
+		}
+		next = func() uint64 {
+			hammerP := float64(issued) / float64(ramp)
+			issued++
+			if hammerP >= 1 || rng.Float64() < hammerP {
+				return 0
+			}
+			return rng.Uint64n(cfg.lines)
+		}
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", cfg.pattern))
 	}

@@ -28,6 +28,7 @@ import (
 
 	"securityrbsg/internal/detector"
 	"securityrbsg/internal/memserver"
+	"securityrbsg/internal/seclevel"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts)")
 	banks := flag.Int("banks", 8, "number of independently wear-leveled banks")
 	lines := flag.Uint64("lines", 1<<20, "total logical lines (lines/banks must be a power of two)")
-	scheme := flag.String("scheme", memserver.SchemeRBSGDetector, "none|rbsg|rbsg+detector|srbsg")
+	scheme := flag.String("scheme", memserver.SchemeRBSGDetector, "none|rbsg|rbsg+detector|srbsg|srbsg+adaptive")
 	regions := flag.Uint64("regions", 32, "wear-leveling regions per bank")
 	interval := flag.Uint64("interval", 100, "remapping interval ψ")
 	stages := flag.Int("stages", 7, "DFN stages (srbsg)")
@@ -44,6 +45,13 @@ func main() {
 	queue := flag.Int("queue", 256, "per-bank request queue depth")
 	detWindow := flag.Uint64("detector-window", 0, "detector observation window in writes (0 = default)")
 	detBoost := flag.Uint64("detector-boost", 0, "detector remapping-rate boost (0 = default)")
+	levelPolicy := flag.String("level-policy", "", "srbsg+adaptive decision policy: hysteresis|aggressive|static (empty = hysteresis)")
+	levelMin := flag.Int("level-min", 0, "srbsg+adaptive minimum DFN stage count (0 = default)")
+	levelMax := flag.Int("level-max", 0, "srbsg+adaptive maximum DFN stage count (0 = default)")
+	levelRaise := flag.Float64("level-raise-rate", 0, "alarm rate (crossings/window) that escalates (0 = default)")
+	levelLower := flag.Float64("level-lower-rate", 0, "alarm rate at or below which the level relaxes (default 0: fully quiet)")
+	levelStep := flag.Int("level-step", 0, "stages added per escalation (0 = default)")
+	levelCooldown := flag.Uint64("level-cooldown", 0, "remap rounds between level transitions (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (default off; keep it loopback)")
 	flag.Parse()
@@ -53,6 +61,18 @@ func main() {
 		Regions: *regions, Interval: *interval, Stages: *stages,
 		Seed: *seed, Endurance: *endurance, QueueDepth: *queue,
 		Detector: detector.Config{Window: *detWindow, Boost: *detBoost},
+		Level: seclevel.Config{
+			Policy:   *levelPolicy,
+			MinLevel: *levelMin, MaxLevel: *levelMax,
+			RaiseRate: *levelRaise, LowerRate: *levelLower,
+			Step: *levelStep, CooldownRounds: *levelCooldown,
+		},
+		// Level-change events are the operator-visible trail of the
+		// adaptive loop; the hook runs on the bank's actor goroutine, so
+		// keep it to one line of stderr.
+		OnLevelChange: func(bank int, d seclevel.Decision) {
+			fmt.Fprintf(os.Stderr, "memctld: bank %d level change: %s\n", bank, d)
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -130,6 +150,12 @@ func printSummary(srv *memserver.Server) {
 		totals["memctld_detector_alarms_total"],
 		totals["memctld_queue_rejected_total"],
 		totals["memctld_failed_lines"])
+	if srv.Config().Scheme == memserver.SchemeAdaptive {
+		fmt.Fprintf(os.Stderr,
+			"memctld: adaptive level: %0.f raises, %0.f lowers across banks\n",
+			totals["memctld_level_raises_total"],
+			totals["memctld_level_lowers_total"])
+	}
 }
 
 func fatal(err error) {

@@ -157,7 +157,7 @@ func listMatrix() {
 	fmt.Println("schemes:")
 	for _, n := range reg.SchemeNames() {
 		s, _ := reg.Scheme(n)
-		fmt.Printf("  %-16s %s%s\n", n, s.Doc, capsSuffix(s.Caps.Exact, s.Caps.TimingOracle))
+		fmt.Printf("  %-16s %s%s\n", n, s.Doc, capsSuffix(s.Caps))
 	}
 	fmt.Println("attacks:")
 	for _, n := range reg.AttackNames() {
@@ -185,13 +185,16 @@ func listMatrix() {
 	fmt.Println("model tier pairs:", strings.Join(reg.ModelPairs(), ", "))
 }
 
-func capsSuffix(exact, timing bool) string {
+func capsSuffix(caps registry.SchemeCaps) string {
 	var tags []string
-	if exact {
+	if caps.Exact {
 		tags = append(tags, "exact")
 	}
-	if timing {
+	if caps.TimingOracle {
 		tags = append(tags, "timing-oracle")
+	}
+	if caps.AdjustableLevel {
+		tags = append(tags, "adjustable-level")
 	}
 	if len(tags) == 0 {
 		return " [model-only]"

@@ -30,7 +30,7 @@ func victimLA(lines uint64) uint64 {
 // run error (shadow-model breakdown) there means the defense held, not
 // that the cell is broken.
 func hardened(scheme string) bool {
-	return scheme == "security-rbsg" || scheme == "rbsg+detector"
+	return scheme == "security-rbsg" || scheme == "rbsg+detector" || scheme == "srbsg-adaptive"
 }
 
 // fromResult converts an attack.Result, marking a budget-bounded run
@@ -100,6 +100,7 @@ func init() {
 			ExactTargets: []string{
 				"start-gap", "rbsg", "rbsg+detector",
 				"security-refresh", "two-level-sr", "security-rbsg",
+				"srbsg-adaptive",
 			},
 		},
 		Prepare: prepareRTA,
@@ -110,10 +111,11 @@ func init() {
 			case "two-level-sr":
 				return runRTATwoLevel(env)
 			default:
-				// start-gap, rbsg, rbsg+detector and security-rbsg all
-				// face the RBSG shadow model — for the latter two that is
-				// the point: the attacker wrongly models the victim as
-				// plain RBSG and the cell records whether that breaks.
+				// start-gap, rbsg, rbsg+detector, security-rbsg and
+				// srbsg-adaptive all face the RBSG shadow model — for the
+				// hardened three that is the point: the attacker wrongly
+				// models the victim as plain RBSG and the cell records
+				// whether that breaks.
 				return runRTARBSG(env)
 			}
 		},
@@ -149,7 +151,7 @@ func prepareRTA(s *registry.Scheme, cfg registry.Config) (registry.Config, error
 					cfg.Endurance, need, per)
 			}
 		}
-	case "security-rbsg", "rbsg+detector":
+	case "security-rbsg", "rbsg+detector", "srbsg-adaptive":
 		// The attack is expected to fail here, and without a failing
 		// line nothing else bounds it: give it the generous default
 		// budget the demos use.

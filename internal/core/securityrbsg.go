@@ -182,6 +182,11 @@ type Scheme struct {
 	moves      uint64 // outer movements performed
 	rounds     uint64 // completed outer rounds
 	cycles     uint64 // permutation cycles walked (extra moves)
+
+	// Adjustable security level: a requested stage count waits here until
+	// the next remap-round boundary (0 = no change pending). See SetStages.
+	pendingStages int
+	stageChanges  uint64 // stage-count transitions applied
 }
 
 // New builds a Security RBSG scheme from cfg.
@@ -308,6 +313,54 @@ func (s *Scheme) Moves() uint64 { return s.moves }
 // the quantity that exposes the cubing Feistel's cycle pathology.
 func (s *Scheme) Cycles() uint64 { return s.cycles }
 
+// Stages returns the DFN stage count — the security level — currently
+// in effect. It differs from a pending SetStages request until the next
+// remap-round boundary applies it.
+func (s *Scheme) Stages() int { return s.cfg.Stages }
+
+// PendingStages returns the stage count requested via SetStages but not
+// yet applied, or 0 when no change is pending.
+func (s *Scheme) PendingStages() int { return s.pendingStages }
+
+// StageChanges returns how many stage-count transitions have applied.
+func (s *Scheme) StageChanges() uint64 { return s.stageChanges }
+
+// SetStages requests a security-level change: the DFN uses n stages from
+// the next remapping round on. The request is deferred to the round
+// boundary — the key redraw in startRound — because that is the only
+// instant at which no address translates through a half-retired
+// permutation pair: Kp has just been rotated from the old Kc, the new Kc
+// is drawn fresh, and every isRemap bit is clear. Applying mid-round
+// would re-key the permutation that unremapped lines still translate
+// through, silently corrupting the mapping. Repeated calls before the
+// boundary overwrite each other; the last request wins. A request equal
+// to the current level still clears at the boundary without counting as
+// a transition.
+func (s *Scheme) SetStages(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: need at least one DFN stage, got %d", n)
+	}
+	s.pendingStages = n
+	return nil
+}
+
+// applyStages switches the DFN to n stages at a round boundary. In table
+// mode the key schedule resizes in place — dfnW (the odd-width walker)
+// wraps the same Network pointer, and the keys stay zero only until
+// redrawPerm's RekeyRandom immediately supplies the round's real keys,
+// consuming exactly one draw per stage like a fresh construction, so
+// table and direct mode remain bit-identical across level changes.
+func (s *Scheme) applyStages(n int) {
+	if n == s.cfg.Stages {
+		return
+	}
+	s.cfg.Stages = n
+	s.stageChanges++
+	if s.dfn != nil {
+		s.dfn.MustSetStages(n)
+	}
+}
+
 // Region returns inner sub-region i, for white-box tests.
 func (s *Scheme) Region(i int) *startgap.Region { return s.regions[i] }
 
@@ -410,9 +463,14 @@ func (s *Scheme) SkipWrites(la, k uint64) {
 	s.writeCount += k
 }
 
-// startRound rotates the keys and clears the remap state.
+// startRound rotates the keys and clears the remap state, applying any
+// pending security-level change just before the new Kc is drawn.
 func (s *Scheme) startRound() {
 	s.kp = s.kc
+	if n := s.pendingStages; n != 0 {
+		s.pendingStages = 0
+		s.applyStages(n)
+	}
 	s.kc = s.redrawPerm()
 	for i := range s.isRemap {
 		s.isRemap[i] = 0

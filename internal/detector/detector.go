@@ -40,6 +40,9 @@ type Config struct {
 	Boost uint64
 	// Cooldown is the number of clean windows before an alarm clears.
 	Cooldown int
+	// RateWindows is how many closed windows the rolling alarm-rate ring
+	// retains for RecentAlarmRate (default DefaultRateWindows).
+	RateWindows int
 }
 
 func (c *Config) normalize(regions uint64) {
@@ -57,6 +60,9 @@ func (c *Config) normalize(regions uint64) {
 	}
 	if c.Cooldown == 0 {
 		c.Cooldown = 2
+	}
+	if c.RateWindows == 0 {
+		c.RateWindows = DefaultRateWindows
 	}
 }
 
@@ -77,6 +83,7 @@ type AdaptiveRBSG struct {
 	seen       uint64 // demand writes since boot
 	firstAlarm uint64 // seen-count at the first alarm
 	alarmSeen  bool   // firstAlarm is valid
+	rate       *RateWindow
 }
 
 // NewAdaptiveRBSG wraps scheme with a detector configured by cfg.
@@ -86,6 +93,10 @@ func NewAdaptiveRBSG(scheme *rbsg.Scheme, cfg Config) (*AdaptiveRBSG, error) {
 	}
 	regions := scheme.Config().Regions
 	cfg.normalize(regions)
+	rate, err := NewRateWindow(cfg.RateWindows)
+	if err != nil {
+		return nil, err
+	}
 	return &AdaptiveRBSG{
 		Scheme:   scheme,
 		cfg:      cfg,
@@ -93,6 +104,7 @@ func NewAdaptiveRBSG(scheme *rbsg.Scheme, cfg Config) (*AdaptiveRBSG, error) {
 		alarmed:  make([]int, regions),
 		regions:  regions,
 		interval: scheme.Config().Interval,
+		rate:     rate,
 	}, nil
 }
 
@@ -113,6 +125,18 @@ func (a *AdaptiveRBSG) Alarmed(r uint64) bool { return a.alarmed[r] > 0 }
 // defender-side detection latency. ok is false while no alarm has fired.
 func (a *AdaptiveRBSG) FirstAlarmWrite() (write uint64, ok bool) {
 	return a.firstAlarm, a.alarmSeen
+}
+
+// RateWindow returns the rolling per-window statistics ring — the
+// control loop's input signal. The returned ring is live; callers must
+// not mutate it.
+func (a *AdaptiveRBSG) RateWindow() *RateWindow { return a.rate }
+
+// RecentAlarmRate aggregates the last n closed windows: threshold
+// crossings, writes observed, and crossings per window. See
+// RateWindow.Rate.
+func (a *AdaptiveRBSG) RecentAlarmRate(n int) (alarms, writes uint64, rate float64) {
+	return a.rate.Rate(n)
 }
 
 // NoteWrite books the write, runs the base scheme's wear leveling, and —
@@ -172,11 +196,14 @@ func (a *AdaptiveRBSG) SkipWrites(la, k uint64) {
 	a.seen += k
 }
 
-// closeWindow evaluates the alarm condition and resets the counters.
+// closeWindow evaluates the alarm condition, records the window's
+// statistics into the rolling ring, and resets the counters.
 func (a *AdaptiveRBSG) closeWindow() {
 	limit := uint64(a.cfg.AlarmShare * float64(a.cfg.Window))
+	var over uint64
 	for r := range a.perRgn {
 		if a.perRgn[r] >= limit {
+			over++
 			if a.alarmed[r] == 0 {
 				a.alarms++
 				if !a.alarmSeen {
@@ -190,5 +217,6 @@ func (a *AdaptiveRBSG) closeWindow() {
 		}
 		a.perRgn[r] = 0
 	}
+	a.rate.Record(WindowStat{Index: a.rate.Windows(), Writes: a.window, Alarms: over})
 	a.window = 0
 }

@@ -80,6 +80,37 @@ func (n *Network) RekeyRandom(rng *stats.RNG) {
 	}
 }
 
+// SetStages resizes the key schedule to stages entries in place,
+// reusing the existing array when it is large enough. The resized keys
+// are all zero until the next RekeyRandom; callers that change the
+// security level mid-stream rekey immediately after, so the RNG draw
+// sequence stays exactly one draw per stage — indistinguishable from a
+// fresh Random construction at the new stage count. Wrappers holding
+// the Network by pointer (Walker, the schemes' dfnW) see the change
+// without rebuilding.
+func (n *Network) SetStages(stages int) error {
+	if stages <= 0 {
+		return errors.New("feistel: need at least one stage")
+	}
+	if stages <= cap(n.keys) {
+		n.keys = n.keys[:stages]
+		for i := range n.keys {
+			n.keys[i] = 0
+		}
+	} else {
+		n.keys = make([]uint64, stages)
+	}
+	return nil
+}
+
+// MustSetStages is SetStages that panics on error; for call sites that
+// validated the stage count already (e.g. core.Scheme.SetStages).
+func (n *Network) MustSetStages(stages int) {
+	if err := n.SetStages(stages); err != nil {
+		panic(err)
+	}
+}
+
 // Bits returns the permutation width B.
 func (n *Network) Bits() uint { return n.bits }
 

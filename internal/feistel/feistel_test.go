@@ -61,6 +61,60 @@ func TestMustConstructorsPanic(t *testing.T) {
 	mustPanic(t, "MustNewWalker", func() {
 		MustNewWalker(MustRandom(8, 3, stats.NewRNG(1)), 1000)
 	})
+	mustPanic(t, "MustSetStages", func() {
+		MustRandom(8, 3, stats.NewRNG(1)).MustSetStages(0)
+	})
+}
+
+// TestSetStagesRekeyMatchesFresh pins the RNG economy behind live
+// security-level changes: resizing the key schedule and rekeying must
+// yield exactly the network a fresh Random construction at the new
+// stage count would, from the same RNG stream.
+func TestSetStagesRekeyMatchesFresh(t *testing.T) {
+	for _, transition := range [][2]int{{3, 7}, {7, 3}, {5, 5}, {1, 12}} {
+		from, to := transition[0], transition[1]
+		resized := MustRandom(10, from, stats.NewRNG(99))
+		if err := resized.SetStages(to); err != nil {
+			t.Fatal(err)
+		}
+		if resized.Stages() != to {
+			t.Fatalf("Stages() = %d after SetStages(%d)", resized.Stages(), to)
+		}
+		for i, k := range resized.Keys() {
+			if k != 0 {
+				t.Fatalf("%d->%d: key %d not zeroed before rekey", from, to, i)
+			}
+		}
+		rng := stats.NewRNG(7)
+		resized.RekeyRandom(rng)
+		fresh := MustRandom(10, to, stats.NewRNG(7))
+		for x := uint64(0); x < resized.Domain(); x++ {
+			if resized.Encrypt(x) != fresh.Encrypt(x) {
+				t.Fatalf("%d->%d: resized+rekeyed differs from fresh at %d", from, to, x)
+			}
+		}
+		// The RNG stream advanced by exactly one draw per stage.
+		want := stats.NewRNG(7)
+		for i := 0; i < to; i++ {
+			want.Uint64()
+		}
+		if rng.Uint64() != want.Uint64() {
+			t.Fatalf("%d->%d: rekey consumed a different number of draws than %d", from, to, to)
+		}
+	}
+}
+
+func TestSetStagesValidation(t *testing.T) {
+	n := MustRandom(8, 3, stats.NewRNG(1))
+	if err := n.SetStages(0); err == nil {
+		t.Error("zero stages must fail")
+	}
+	if err := n.SetStages(-1); err == nil {
+		t.Error("negative stages must fail")
+	}
+	if n.Stages() != 3 {
+		t.Errorf("failed SetStages mutated the schedule: %d stages", n.Stages())
+	}
 }
 
 // TestEncryptDecryptInverse is the core property: Decrypt ∘ Encrypt = id

@@ -6,6 +6,7 @@ import (
 
 	"securityrbsg/internal/detector"
 	"securityrbsg/internal/pcm"
+	"securityrbsg/internal/seclevel"
 	"securityrbsg/internal/wear"
 )
 
@@ -44,6 +45,11 @@ type BankSnapshot struct {
 	// Detector state (zero when the scheme has no detector).
 	Alarms, BoostedMoves uint64
 	AlarmedRegions       int
+	// Adaptive security-level state (zero when the scheme has no level
+	// controller): the DFN stage count currently in effect and the
+	// controller's applied transition counts.
+	SecurityLevel            int
+	LevelRaises, LevelLowers uint64
 	// Wear distribution percentiles over the bank's physical lines.
 	WearP50, WearP90, WearP99 uint64
 }
@@ -55,6 +61,7 @@ type actor struct {
 	bank      int
 	ctrl      *wear.Controller
 	det       *detector.AdaptiveRBSG
+	adaptive  *seclevel.Adaptive
 	ch        chan bankReq
 	done      chan struct{}
 	snapEvery uint64
@@ -66,9 +73,9 @@ type actor struct {
 	snap        atomic.Pointer[BankSnapshot]
 }
 
-func newActor(bank int, ctrl *wear.Controller, det *detector.AdaptiveRBSG, depth int, snapEvery uint64) *actor {
+func newActor(bank int, ctrl *wear.Controller, det *detector.AdaptiveRBSG, adaptive *seclevel.Adaptive, depth int, snapEvery uint64) *actor {
 	a := &actor{
-		bank: bank, ctrl: ctrl, det: det,
+		bank: bank, ctrl: ctrl, det: det, adaptive: adaptive,
 		ch:        make(chan bankReq, depth),
 		done:      make(chan struct{}),
 		snapEvery: snapEvery,
@@ -130,6 +137,13 @@ func (a *actor) publish() {
 				s.AlarmedRegions++
 			}
 		}
+	}
+	if a.adaptive != nil {
+		s.Alarms = a.adaptive.Monitor().Alarms()
+		s.AlarmedRegions = int(a.adaptive.Monitor().AlarmedRegions())
+		s.SecurityLevel = a.adaptive.Level()
+		s.LevelRaises = a.adaptive.Controller().Raises()
+		s.LevelLowers = a.adaptive.Controller().Lowers()
 	}
 	s.WearP50, s.WearP90, s.WearP99 = a.wearPercentiles()
 	a.snap.Store(s)

@@ -47,6 +47,47 @@ func BenchmarkMemserverBatchWrite(b *testing.B) {
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
 }
 
+// BenchmarkMemserverBatchWriteAdaptive is the same hot path with the
+// adaptive security level in the loop (perf-gate guard: the bench gate
+// fails if its allocs/op ever exceeds the static-scheme batch path's).
+// The controller must ride the writes the scheme already does — its
+// monitor feed and round-boundary checks live inside NoteWrite, and a
+// level decision only redraws keys the remap round was redrawing
+// anyway — so steady-state batches allocate nothing beyond what
+// BenchmarkMemserverBatchWrite pays.
+func BenchmarkMemserverBatchWriteAdaptive(b *testing.B) {
+	const batch = 256
+	s := MustNew(Config{
+		Banks: 8, Lines: 8 << 14, Scheme: SchemeAdaptive,
+		Regions: 32, Interval: 100, Stages: 4, Seed: 1, QueueDepth: 256,
+	})
+	s.Start()
+	handler := s.Handler()
+
+	rng := stats.NewRNG(3)
+	ops := make([]BatchOp, batch)
+	for i := range ops {
+		ops[i] = BatchOp{Line: rng.Uint64n(s.Config().Lines), Data: 2}
+	}
+	body, err := json.Marshal(BatchRequest{Ops: ops})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
+}
+
 // BenchmarkMemserverSingleWrite is the uncoalesced per-request cost:
 // one line per HTTP round trip through the handler.
 func BenchmarkMemserverSingleWrite(b *testing.B) {

@@ -33,15 +33,17 @@ import (
 	"securityrbsg/internal/membank"
 	"securityrbsg/internal/pcm"
 	"securityrbsg/internal/rbsg"
+	"securityrbsg/internal/seclevel"
 	"securityrbsg/internal/wear"
 )
 
 // Scheme names accepted by Config.Scheme.
 const (
-	SchemeRBSGDetector = "rbsg+detector" // RBSG wrapped in the online attack detector (default)
-	SchemeRBSG         = "rbsg"          // plain Region-Based Start-Gap
-	SchemeSecurityRBSG = "srbsg"         // the paper's Security RBSG
-	SchemeNone         = "none"          // passthrough baseline
+	SchemeRBSGDetector = "rbsg+detector"  // RBSG wrapped in the online attack detector (default)
+	SchemeRBSG         = "rbsg"           // plain Region-Based Start-Gap
+	SchemeSecurityRBSG = "srbsg"          // the paper's Security RBSG
+	SchemeAdaptive     = "srbsg+adaptive" // Security RBSG + detector-driven level controller
+	SchemeNone         = "none"           // passthrough baseline
 )
 
 // Config describes one memory-controller daemon instance.
@@ -72,8 +74,17 @@ type Config struct {
 	// SnapshotEvery is how many ops an actor processes between telemetry
 	// snapshots (default 8192; tests set 1 for exact live metrics).
 	SnapshotEvery uint64
-	// Detector tunes the per-bank online detector (rbsg+detector only).
+	// Detector tunes the per-bank online detector (rbsg+detector and
+	// srbsg+adaptive).
 	Detector detector.Config
+	// Level tunes the per-bank security-level controller (srbsg+adaptive
+	// only; zero fields take seclevel defaults).
+	Level seclevel.Config
+	// OnLevelChange, when set, observes every applied security-level
+	// transition (srbsg+adaptive only). It runs on the bank's actor
+	// goroutine, so it must not block; memctld uses it to log level-change
+	// events.
+	OnLevelChange func(bank int, d seclevel.Decision)
 }
 
 func (c *Config) normalize() error {
@@ -123,6 +134,7 @@ type Server struct {
 	mem       *membank.Memory
 	actors    []*actor
 	detectors []*detector.AdaptiveRBSG // nil entries when the scheme has no detector
+	adaptives []*seclevel.Adaptive     // nil entries when the scheme has no level controller
 	draining  atomic.Bool
 	started   atomic.Bool
 }
@@ -132,7 +144,11 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, detectors: make([]*detector.AdaptiveRBSG, cfg.Banks)}
+	s := &Server{
+		cfg:       cfg,
+		detectors: make([]*detector.AdaptiveRBSG, cfg.Banks),
+		adaptives: make([]*seclevel.Adaptive, cfg.Banks),
+	}
 	factory := func(bank int, lines uint64) (wear.Scheme, error) {
 		seed := cfg.Seed + uint64(bank)
 		switch cfg.Scheme {
@@ -148,6 +164,25 @@ func New(cfg Config) (*Server, error) {
 				InnerInterval: cfg.Interval, OuterInterval: cfg.Interval,
 				Stages: cfg.Stages, Seed: seed,
 			})
+		case SchemeAdaptive:
+			ad, err := seclevel.NewAdaptive(seclevel.AdaptiveConfig{
+				Scheme: core.Config{
+					Lines: lines, Regions: cfg.Regions,
+					InnerInterval: cfg.Interval, OuterInterval: cfg.Interval,
+					Stages: cfg.Stages, Seed: seed,
+				},
+				Detector: cfg.Detector,
+				Level:    cfg.Level,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if cb := cfg.OnLevelChange; cb != nil {
+				b := bank // the hook outlives the loop variable's iteration
+				ad.Controller().OnApply = func(d seclevel.Decision) { cb(b, d) }
+			}
+			s.adaptives[bank] = ad
+			return ad, nil
 		case SchemeRBSGDetector:
 			base, err := rbsg.New(rbsg.Config{
 				Lines: lines, Regions: cfg.Regions, Interval: cfg.Interval, Seed: seed,
@@ -177,7 +212,7 @@ func New(cfg Config) (*Server, error) {
 	s.mem = mem
 	s.actors = make([]*actor, cfg.Banks)
 	for i := range s.actors {
-		s.actors[i] = newActor(i, mem.Bank(i), s.detectors[i], cfg.QueueDepth, cfg.SnapshotEvery)
+		s.actors[i] = newActor(i, mem.Bank(i), s.detectors[i], s.adaptives[i], cfg.QueueDepth, cfg.SnapshotEvery)
 	}
 	return s, nil
 }

@@ -69,6 +69,12 @@ func (s *Server) renderMetrics(b *strings.Builder) {
 			func(a *actor, s *BankSnapshot) uint64 { return s.BoostedMoves }},
 		{"detector_alarmed_regions", "Regions currently under alarm.", "gauge",
 			func(a *actor, s *BankSnapshot) uint64 { return uint64(s.AlarmedRegions) }},
+		{"security_level", "DFN stage count currently in effect (srbsg+adaptive).", "gauge",
+			func(a *actor, s *BankSnapshot) uint64 { return uint64(s.SecurityLevel) }},
+		{"level_raises_total", "Security-level escalations applied by the controller.", "counter",
+			func(a *actor, s *BankSnapshot) uint64 { return s.LevelRaises }},
+		{"level_lowers_total", "Security-level relaxations applied by the controller.", "counter",
+			func(a *actor, s *BankSnapshot) uint64 { return s.LevelLowers }},
 		{"wear_max", "Highest wear count of any physical line.", "gauge",
 			func(a *actor, s *BankSnapshot) uint64 { return s.Stats.MaxWear }},
 		{"wear_p50", "Median wear count over physical lines.", "gauge",

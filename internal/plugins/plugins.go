@@ -16,6 +16,7 @@ import (
 	_ "securityrbsg/internal/detector" // rbsg+detector
 	_ "securityrbsg/internal/exactsim" // exact-tier accelerator
 	_ "securityrbsg/internal/rbsg"     // rbsg
+	_ "securityrbsg/internal/seclevel" // srbsg-adaptive
 	_ "securityrbsg/internal/secref"   // security-refresh, two-level-sr, multiway-sr
 	_ "securityrbsg/internal/startgap" // start-gap
 )

@@ -117,6 +117,12 @@ type SchemeCaps struct {
 	// Remapping Timing Attack needs. The passthrough baseline never
 	// remaps, so it has no channel to attack.
 	TimingOracle bool
+	// AdjustableLevel: instances support live security-level transitions
+	// (core.Scheme.SetStages-style, applied at remap-round boundaries),
+	// so the adaptive controller (internal/seclevel) can drive them.
+	// Requires Exact — a level only a model could hold has nothing to
+	// adjust.
+	AdjustableLevel bool
 }
 
 // Scheme is a named wear-leveling scheme plugin.
@@ -224,6 +230,9 @@ func (r *Registry) RegisterScheme(s Scheme) {
 	}
 	if !s.Caps.Exact && s.New != nil {
 		panic(fmt.Sprintf("registry: scheme %q has a constructor but does not declare Exact", s.Name))
+	}
+	if s.Caps.AdjustableLevel && !s.Caps.Exact {
+		panic(fmt.Sprintf("registry: scheme %q declares AdjustableLevel without Exact (nothing to adjust)", s.Name))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

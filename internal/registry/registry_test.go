@@ -108,6 +108,24 @@ func TestCapabilityConstructorMismatchPanics(t *testing.T) {
 	mustPanic(t, "nil accelerator", func() { r.RegisterAccelerator(nil) })
 }
 
+func TestAdjustableLevelRequiresExact(t *testing.T) {
+	r := New()
+	mustPanic(t, "declares AdjustableLevel without Exact", func() {
+		r.RegisterScheme(Scheme{
+			Name: "model-only-adjustable",
+			Caps: SchemeCaps{AdjustableLevel: true},
+		})
+	})
+	// The flag composes fine with Exact.
+	s := passthroughScheme("adjustable")
+	s.Caps.AdjustableLevel = true
+	r.RegisterScheme(s)
+	got, err := r.Scheme("adjustable")
+	if err != nil || !got.Caps.AdjustableLevel {
+		t.Fatalf("registered adjustable scheme lost its capability: %+v, %v", got, err)
+	}
+}
+
 func TestUnknownNamesReturnListableErrors(t *testing.T) {
 	r := New()
 	r.RegisterScheme(passthroughScheme("alpha"))

@@ -1,19 +1,19 @@
-package core
+package seclevel
 
 import (
+	"securityrbsg/internal/core"
 	"securityrbsg/internal/registry"
 	"securityrbsg/internal/wear"
 )
 
-// The registry entry for Security RBSG, the paper's contribution. The
-// defaults are the paper's suggested configuration (512 sub-regions,
-// ψ_i=64, ψ_o=128, 7 DFN stages), with the region count scaled down on
-// small tournament geometries so each inner Start-Gap region keeps at
-// least 16 lines.
+// The registry entry for Security RBSG with the detector-driven level
+// controller closed over it. Geometry defaults mirror "security-rbsg"
+// (this is the same scheme, plus the loop); detector and controller
+// tuning take their package defaults.
 func init() {
 	registry.RegisterScheme(registry.Scheme{
-		Name: "security-rbsg",
-		Doc:  "Security RBSG: dynamic Feistel outer mapping + per-region Start-Gap",
+		Name: "srbsg-adaptive",
+		Doc:  "Security RBSG + detector-driven controller tuning the DFN stage count live",
 		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true, AdjustableLevel: true},
 		Defaults: func(cfg registry.Config) registry.Config {
 			if cfg.Regions == 0 {
@@ -34,10 +34,12 @@ func init() {
 			return cfg
 		},
 		New: func(cfg registry.Config) (wear.Scheme, error) {
-			return New(Config{
-				Lines: cfg.Lines, Regions: cfg.Regions,
-				InnerInterval: cfg.InnerInterval, OuterInterval: cfg.OuterInterval,
-				Stages: cfg.Stages, Seed: cfg.Seed,
+			return NewAdaptive(AdaptiveConfig{
+				Scheme: core.Config{
+					Lines: cfg.Lines, Regions: cfg.Regions,
+					InnerInterval: cfg.InnerInterval, OuterInterval: cfg.OuterInterval,
+					Stages: cfg.Stages, Seed: cfg.Seed,
+				},
 			})
 		},
 	})

@@ -1,0 +1,198 @@
+package seclevel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MinLevel: -1},
+		{MinLevel: 8, MaxLevel: 4},
+		{MinLevel: 3, MaxLevel: 5, InitialLevel: 9},
+		{RaiseRate: 0.2, LowerRate: 0.5},
+		{RaiseRate: 0.5, LowerRate: -0.1},
+		{Step: -1},
+		{HistoryWindows: -2},
+		{TraceDepth: -1},
+		{Policy: "no-such-policy"},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d should fail: %+v", i, c)
+		}
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("defaults must be valid: %v", err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, Config{RaiseRate: 0.5, MaxLevel: 11, Step: 2})
+		if err != nil {
+			t.Fatalf("built-in policy %q: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("bogus", Config{}); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+}
+
+// obsAt builds a boundary observation with the given rate; Alarms is
+// derived as rate × windows for consistency.
+func obsAt(round uint64, level int, rate float64, windows int) Observation {
+	return Observation{
+		Round: round, Level: level,
+		Alarms: uint64(rate * float64(windows)), Windows: windows, Rate: rate,
+	}
+}
+
+func TestHysteresisRaiseCooldownClamp(t *testing.T) {
+	c := MustNew(Config{
+		InitialLevel: 5, MinLevel: 3, MaxLevel: 9,
+		RaiseRate: 0.5, LowerRate: 0.0, Step: 2, CooldownRounds: 2,
+	})
+
+	// No signal yet: hold.
+	if lvl, changed := c.OnRoundBoundary(obsAt(1, 5, 0, 0)); changed || lvl != 5 {
+		t.Fatalf("round 1 (no windows): got (%d, %v), want hold at 5", lvl, changed)
+	}
+	// Hot: raise by Step.
+	if lvl, changed := c.OnRoundBoundary(obsAt(2, 5, 1.0, 4)); !changed || lvl != 7 {
+		t.Fatalf("round 2: got (%d, %v), want raise to 7", lvl, changed)
+	}
+	// Still hot, but inside the 2-round cooldown: hold.
+	if lvl, changed := c.OnRoundBoundary(obsAt(3, 7, 1.0, 4)); changed || lvl != 7 {
+		t.Fatalf("round 3 (cooldown): got (%d, %v), want hold at 7", lvl, changed)
+	}
+	// Cooldown over: raise again, clamped to MaxLevel 9.
+	if lvl, changed := c.OnRoundBoundary(obsAt(4, 7, 1.0, 4)); !changed || lvl != 9 {
+		t.Fatalf("round 4: got (%d, %v), want raise to 9", lvl, changed)
+	}
+	// At the clamp: a hot signal changes nothing.
+	if lvl, changed := c.OnRoundBoundary(obsAt(6, 9, 1.0, 4)); changed || lvl != 9 {
+		t.Fatalf("round 6 (at max): got (%d, %v), want hold at 9", lvl, changed)
+	}
+	// In the hysteresis band (between lower 0 and raise 0.5): hold.
+	if lvl, changed := c.OnRoundBoundary(obsAt(8, 9, 0.25, 4)); changed || lvl != 9 {
+		t.Fatalf("round 8 (in band): got (%d, %v), want hold at 9", lvl, changed)
+	}
+	if c.Raises() != 2 || c.Lowers() != 0 {
+		t.Fatalf("raises/lowers = %d/%d, want 2/0", c.Raises(), c.Lowers())
+	}
+}
+
+func TestHysteresisLowersSlowly(t *testing.T) {
+	c := MustNew(Config{
+		InitialLevel: 7, MinLevel: 3, MaxLevel: 9,
+		RaiseRate: 0.5, LowerRate: 0.0, Step: 2, CooldownRounds: 1,
+	})
+	level := 7
+	for round := uint64(1); round <= 10; round++ {
+		lvl, changed := c.OnRoundBoundary(obsAt(round, level, 0, 4))
+		if changed && lvl != level-1 {
+			t.Fatalf("round %d: lowered %d -> %d, want single steps", round, level, lvl)
+		}
+		level = lvl
+	}
+	if level != 3 {
+		t.Fatalf("quiet traffic settled at %d, want MinLevel 3", level)
+	}
+	// At the floor: quiet changes nothing.
+	if lvl, changed := c.OnRoundBoundary(obsAt(11, 3, 0, 4)); changed || lvl != 3 {
+		t.Fatalf("at floor: got (%d, %v), want hold at 3", lvl, changed)
+	}
+	if c.Lowers() != 4 {
+		t.Fatalf("Lowers() = %d, want 4 (7→3 in single steps)", c.Lowers())
+	}
+}
+
+func TestAggressivePolicyJumpsToMax(t *testing.T) {
+	c := MustNew(Config{
+		Policy:       "aggressive",
+		InitialLevel: 4, MinLevel: 3, MaxLevel: 11, CooldownRounds: 1,
+	})
+	if lvl, changed := c.OnRoundBoundary(Observation{Round: 1, Level: 4, Alarms: 1, Windows: 2, Rate: 0.5}); !changed || lvl != 11 {
+		t.Fatalf("one crossing: got (%d, %v), want jump to 11", lvl, changed)
+	}
+	if lvl, changed := c.OnRoundBoundary(obsAt(2, 11, 0, 4)); !changed || lvl != 10 {
+		t.Fatalf("quiet after jump: got (%d, %v), want step down to 10", lvl, changed)
+	}
+}
+
+func TestStaticPolicyNeverMoves(t *testing.T) {
+	c := MustNew(Config{Policy: "static", InitialLevel: 7, MinLevel: 3, MaxLevel: 11})
+	for round := uint64(1); round < 20; round++ {
+		rate := float64(round % 3)
+		if lvl, changed := c.OnRoundBoundary(obsAt(round, 7, rate, 4)); changed || lvl != 7 {
+			t.Fatalf("round %d: static policy moved to %d", round, lvl)
+		}
+	}
+	if c.Raises()+c.Lowers() != 0 {
+		t.Fatal("static policy recorded transitions")
+	}
+}
+
+// TestTraceDeterministicReplay feeds the same seeded observation
+// sequence to two controllers and requires byte-identical traces — the
+// replay property the closed loop inherits.
+func TestTraceDeterministicReplay(t *testing.T) {
+	run := func() *Controller {
+		c := MustNew(Config{InitialLevel: 5, MinLevel: 3, MaxLevel: 11, CooldownRounds: 1})
+		level := 5
+		for round := uint64(1); round <= 40; round++ {
+			// A deterministic pseudo-attack profile: hot bursts at rounds
+			// 5-12 and 25-30, quiet elsewhere.
+			rate := 0.0
+			if (round >= 5 && round <= 12) || (round >= 25 && round <= 30) {
+				rate = 1.5
+			}
+			level, _ = c.OnRoundBoundary(obsAt(round, level, rate, 8))
+		}
+		return c
+	}
+	a, b := run(), run()
+	ta, tb := a.TraceString(), b.TraceString()
+	if ta != tb {
+		t.Fatalf("traces diverged:\n--- a ---\n%s--- b ---\n%s", ta, tb)
+	}
+	if a.Raises() == 0 || a.Lowers() == 0 {
+		t.Fatalf("profile exercised raises=%d lowers=%d — want both", a.Raises(), a.Lowers())
+	}
+	if !strings.Contains(ta, "raise") || !strings.Contains(ta, "lower") {
+		t.Fatalf("trace missing transitions:\n%s", ta)
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	c := MustNew(Config{
+		InitialLevel: 3, MinLevel: 1, MaxLevel: 100,
+		Step: 1, CooldownRounds: 1, TraceDepth: 4,
+	})
+	for round := uint64(1); round <= 20; round++ {
+		c.OnRoundBoundary(obsAt(round, c.Level(), 2.0, 4))
+	}
+	if got := len(c.Trace()); got != 4 {
+		t.Fatalf("trace holds %d decisions, want TraceDepth 4", got)
+	}
+	if c.Dropped() != 16 {
+		t.Fatalf("Dropped() = %d, want 16", c.Dropped())
+	}
+	// The retained tail is the most recent decisions, oldest first.
+	trace := c.Trace()
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Round <= trace[i-1].Round {
+			t.Fatalf("trace out of order: %v", trace)
+		}
+	}
+	if trace[len(trace)-1].Round != 20 {
+		t.Fatalf("last retained decision at round %d, want 20", trace[len(trace)-1].Round)
+	}
+	if !strings.HasPrefix(c.TraceString(), "(16 earlier decisions dropped)") {
+		t.Fatalf("TraceString does not surface the eviction:\n%s", c.TraceString())
+	}
+}

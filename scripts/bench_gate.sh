@@ -6,7 +6,7 @@
 # Overrides (documented in DESIGN.md "Performance engineering"):
 #   BENCHGATE_SKIP=1            skip the gate (e.g. known-noisy runner)
 #   BENCHGATE_MAX_REGRESS=0.30  widen the ns/op threshold
-#   BENCH_BASELINE=BENCH_5.json compare against a different baseline
+#   BENCH_BASELINE=BENCH_7.json compare against a different baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,17 +15,20 @@ if [ "${BENCHGATE_SKIP:-0}" = "1" ]; then
     exit 0
 fi
 
-baseline="${BENCH_BASELINE:-BENCH_5.json}"
-# The six designated guards (see bench_test.go "perf-gate guard
-# benchmarks"): pure mapping kernel, both per-access paths, the
-# end-to-end Monte-Carlo kernel, and the exact tier's bulk-write and
-# epoch fast-forward kernels. No HTTP layers — the gate measures our
-# code, not the harness.
-guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward'
+baseline="${BENCH_BASELINE:-BENCH_7.json}"
+# The designated guards (see bench_test.go and
+# internal/memserver/bench_test.go "perf-gate guard benchmarks"): pure
+# mapping kernel, both per-access paths, the end-to-end Monte-Carlo
+# kernel, the exact tier's bulk-write and epoch fast-forward kernels,
+# and the two /v1/batch service paths. The batch pair is gated mostly
+# for its allocs/op (exact match required): the adaptive controller
+# must add zero allocations over the static scheme's 27-alloc path.
+guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward,BenchmarkMemserverBatchWrite,BenchmarkMemserverBatchWriteAdaptive'
 regex="^($(echo "$guards" | tr ',' '|'))\$"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$regex" -benchmem \
-    -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-3}" . | tee "$tmp"
+    -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-3}" \
+    . ./internal/memserver/ | tee "$tmp"
 go run ./cmd/benchdiff -baseline "$baseline" -guard "$guards" "$tmp"
