@@ -1,13 +1,17 @@
 // Command rbsglint runs the repo's custom analyzer suite — the
-// mechanized determinism, bank-isolation and panic-policy contracts.
+// mechanized determinism, bank-isolation, panic-policy, hot-path
+// allocation, remap-boundary, registry-hygiene and metric-naming
+// contracts.
 //
 // Standalone (what `make lint` runs):
 //
 //	go run ./cmd/rbsglint ./...
 //
 // It exits 0 when the tree is clean, 2 when diagnostics were reported,
-// and 1 on load/internal errors. Pass -json for machine-readable
-// output.
+// and 1 on load/internal errors (including bad flags). Pass -json for
+// machine-readable output on stdout, or -out FILE to also write the
+// findings as a JSON report (always written, an empty array when
+// clean — CI uploads it as an artifact).
 //
 // The binary also speaks `go vet`'s vettool protocol, so the same
 // checks compose with the rest of vet:
@@ -18,7 +22,11 @@
 // In that mode go vet invokes the tool once per package with a .cfg
 // file describing the compilation (sources plus export data for every
 // import), which is exactly what the standalone loader reconstructs
-// via `go list -export`.
+// via `go list -export`. Cross-package facts ride the same protocol:
+// each invocation decodes the .vetx files of its dependencies
+// (cfg.PackageVetx), runs the suite — facts only for dependency
+// compilations (cfg.VetxOnly) — and serializes its own facts to
+// cfg.VetxOutput for cmd/go to hand to dependents.
 package main
 
 import (
@@ -55,9 +63,12 @@ func run(args []string) int {
 		return runVet(args[0])
 	}
 
-	fs := flag.NewFlagSet("rbsglint", flag.ExitOnError)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
-	fs.Parse(args)
+	fs := flag.NewFlagSet("rbsglint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	outPath := fs.String("out", "", "write diagnostics as a JSON report to this file (empty array when clean)")
+	if err := fs.Parse(args); err != nil {
+		return 1 // usage problems are driver errors, not violations
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -73,6 +84,12 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "rbsglint:", err)
 		return 1
 	}
+	if *outPath != "" {
+		if err := writeReport(*outPath, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "rbsglint:", err)
+			return 1
+		}
+	}
 	if len(diags) == 0 {
 		return 0
 	}
@@ -87,6 +104,19 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "rbsglint: %d violation(s)\n", len(diags))
 	}
 	return 2
+}
+
+// writeReport persists the findings as a JSON array — present (and
+// empty) even for a clean run, so CI always has an artifact to upload.
+func writeReport(path string, diags []analysis.Diagnostic) error {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
 }
 
 // printVersion answers -V=full with a content hash of the executable,
@@ -113,6 +143,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -130,26 +161,34 @@ func runVet(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "rbsglint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The suite exports no facts, so dependencies analyzed "for facts
-	// only" have nothing to compute — just satisfy the protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "rbsglint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
+	facts := analysis.NewFacts()
+
 	// Test compilations (external pkg_test packages, "pkg [pkg.test]"
 	// augmented variants, and the generated .test main) are exempt: the
 	// contracts govern shipped code, and tests legitimately panic and
 	// read the wall clock. The standalone loader matches this by
-	// analyzing only non-test compilations.
+	// analyzing only non-test compilations. The protocol still wants a
+	// .vetx file; an empty fact set is a valid payload.
 	if strings.HasSuffix(cfg.ImportPath, "_test") ||
 		strings.HasSuffix(cfg.ImportPath, ".test") ||
 		strings.Contains(cfg.ImportPath, " [") {
-		return 0
+		return writeVetx(&cfg, facts)
+	}
+
+	// Seed the store with the dependencies' facts. cmd/go hands us one
+	// .vetx per import it ran the tool on; decoding marks the package as
+	// analyzed even when the payload is empty, which is how analyzers
+	// tell "analyzed, no facts" from "never analyzed".
+	for path, file := range cfg.PackageVetx {
+		payload, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbsglint: reading facts of %s: %v\n", path, err)
+			return 1
+		}
+		if err := facts.DecodePackage(path, payload); err != nil {
+			fmt.Fprintln(os.Stderr, "rbsglint:", err)
+			return 1
+		}
 	}
 
 	pkg, err := loadVetPackage(&cfg)
@@ -160,10 +199,17 @@ func runVet(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "rbsglint: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers.All())
+	// Dependency compilations run for their facts only: analyzers still
+	// execute (dependents need the facts), diagnostics are withheld (the
+	// dependency gets its own non-VetxOnly compilation).
+	pkg.FactsOnly = cfg.VetxOnly
+	diags, err := analysis.RunFacts([]*analysis.Package{pkg}, analyzers.All(), facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rbsglint:", err)
 		return 1
+	}
+	if code := writeVetx(&cfg, facts); code != 0 {
+		return code
 	}
 	if len(diags) == 0 {
 		return 0
@@ -172,6 +218,24 @@ func runVet(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, d)
 	}
 	return 2
+}
+
+// writeVetx serializes the analyzed package's facts to cfg.VetxOutput
+// (when the protocol asked for one).
+func writeVetx(cfg *vetConfig, facts *analysis.Facts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	payload, err := facts.EncodePackage(cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbsglint:", err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "rbsglint:", err)
+		return 1
+	}
+	return 0
 }
 
 // loadVetPackage type-checks the compilation described by a vet config:

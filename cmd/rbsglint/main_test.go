@@ -51,6 +51,37 @@ func Add(a, b int) int { return a + b }
 	return dir
 }
 
+// writeModule materializes a file map as a throwaway module.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn executes a command in dir, tolerating nonzero exits.
+func runIn(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(args[0], args[1:]...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return string(out), code
+}
+
 // TestSeededViolation proves the driver's exit-code contract end to
 // end: a seeded wall-clock read fails the run (exit 2) in both
 // standalone and `go vet -vettool` modes, and the clean package passes.
@@ -98,5 +129,167 @@ func TestSeededViolation(t *testing.T) {
 	out, code = run("go", "vet", "-vettool="+bin, "./clean")
 	if code != 0 {
 		t.Fatalf("go vet -vettool on clean package: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// contractModule writes a throwaway module that reuses the real module
+// path, seeding one violation of each PR 4-7 contract:
+//
+//   - a heap allocation in a //rbsglint:hotpath encode path, reachable
+//     only through a cross-package call — catching it in vet mode
+//     requires the facts round-trip through .vetx files;
+//   - a DFN stage-count mutation outside a remap boundary;
+//   - a scheme package whose register.go is not reachable from
+//     internal/plugins (its constructor never runs).
+func contractModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod": "module securityrbsg\n\ngo 1.22\n",
+		"internal/enc/enc.go": `package enc
+
+// AppendFrame allocates a scratch header on every call.
+func AppendFrame(b []byte, v uint64) []byte {
+	hdr := make([]byte, 8)
+	for i := range hdr {
+		hdr[i] = byte(v >> (8 * uint(i)))
+	}
+	return append(b, hdr...)
+}
+`,
+		"internal/batch/batch.go": `package batch
+
+import "securityrbsg/internal/enc"
+
+//rbsglint:hotpath
+func Encode(out []byte, v uint64) []byte {
+	return enc.AppendFrame(out, v)
+}
+`,
+		"internal/core/core.go": `package core
+
+type Scheme struct{ stages int }
+
+func (s *Scheme) SetStages(n int) { s.stages = n }
+`,
+		"internal/ctl/ctl.go": `package ctl
+
+import "securityrbsg/internal/core"
+
+func Bump(s *core.Scheme) { s.SetStages(8) }
+`,
+		"internal/registry/registry.go": `package registry
+
+type SchemeCaps struct{ Exact bool }
+
+type Scheme struct {
+	Name string
+	Caps SchemeCaps
+	New  func() error
+}
+
+func RegisterScheme(s Scheme) {}
+`,
+		"internal/orphan/register.go": `package orphan
+
+import "securityrbsg/internal/registry"
+
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "orphan",
+		Caps: registry.SchemeCaps{Exact: true},
+		New:  func() error { return nil },
+	})
+}
+`,
+		"internal/plugins/plugins.go": `// Package plugins links schemes into binaries; it imports nothing
+// here, so orphan's registration is unreachable.
+package plugins
+`,
+	})
+}
+
+// TestSeededContractViolations seeds one violation per mechanized
+// contract and requires exactly one finding each, in both standalone
+// and `go vet -vettool` modes. The hot-path finding crosses a package
+// boundary, so its presence under vet proves facts survive the .vetx
+// round-trip.
+func TestSeededContractViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess go builds; skipped in -short")
+	}
+	bin := buildDriver(t)
+	mod := contractModule(t)
+
+	wants := []string{
+		"hot path: calls enc.AppendFrame, which allocates (make)",
+		"level mutation outside a remap boundary: calls core.Scheme.SetStages, which mutates the DFN stage count",
+		"package securityrbsg/internal/orphan has a register.go but is not reachable from internal/plugins",
+	}
+
+	report := filepath.Join(mod, "findings.json")
+	out, code := runIn(t, mod, bin, "-out", report, "./...")
+	if code != 2 {
+		t.Fatalf("standalone: exit %d, want 2\n%s", code, out)
+	}
+	for _, w := range wants {
+		if n := strings.Count(out, w); n != 1 {
+			t.Errorf("standalone: %d findings matching %q, want 1\n%s", n, w, out)
+		}
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("reading -out report: %v", err)
+	}
+	for _, w := range wants {
+		if n := strings.Count(string(data), strings.ReplaceAll(w, `"`, `\"`)); n != 1 {
+			t.Errorf("-out report: %d entries matching %q, want 1\n%s", n, w, data)
+		}
+	}
+
+	out, code = runIn(t, mod, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool: exit 0, want nonzero\n%s", out)
+	}
+	for _, w := range wants {
+		if n := strings.Count(out, w); n != 1 {
+			t.Errorf("vettool: %d findings matching %q, want 1\n%s", n, w, out)
+		}
+	}
+}
+
+// TestExitCodes pins the driver's exit-code contract: 2 is reserved
+// for violations, 1 for everything that went wrong before analysis
+// (bad flags, unparseable packages), 0 for a clean tree — and a clean
+// run still writes the (empty) -out report.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess go builds; skipped in -short")
+	}
+	bin := buildDriver(t)
+
+	broken := writeModule(t, map[string]string{
+		"go.mod":     "module broken\n\ngo 1.22\n",
+		"bad/bad.go": "package bad\n\nfunc Broken( {\n",
+	})
+	out, code := runIn(t, broken, bin, "./...")
+	if code != 1 {
+		t.Errorf("standalone on unparseable module: exit %d, want 1\n%s", code, out)
+	}
+
+	clean := writeModule(t, map[string]string{
+		"go.mod":   "module clean\n\ngo 1.22\n",
+		"ok/ok.go": "package ok\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	out, code = runIn(t, clean, bin, "-bogus-flag", "./...")
+	if code != 1 {
+		t.Errorf("bad flag: exit %d, want 1 (driver error, not a violation)\n%s", code, out)
+	}
+	report := filepath.Join(clean, "findings.json")
+	out, code = runIn(t, clean, bin, "-out", report, "./...")
+	if code != 0 {
+		t.Errorf("clean module: exit %d, want 0\n%s", code, out)
+	}
+	if data, err := os.ReadFile(report); err != nil || strings.TrimSpace(string(data)) != "[]" {
+		t.Errorf("clean -out report: %q, %v; want empty JSON array", data, err)
 	}
 }

@@ -2,20 +2,26 @@
 // the golang.org/x/tools/go/analysis surface the rbsglint suite needs.
 //
 // The repo's invariants (bit-identical simulation, single-writer bank
-// actors, panic-free data paths) are enforced by custom analyzers, but
-// the module deliberately has no third-party dependencies, so instead
-// of importing x/tools this package provides the same shape — an
-// Analyzer with a Run function over a type-checked Pass — on top of the
-// standard library's go/ast and go/types.
+// actors, panic-free data paths, alloc-free hot paths, remap-boundary
+// level changes) are enforced by custom analyzers, but the module
+// deliberately has no third-party dependencies, so instead of importing
+// x/tools this package provides the same shape — an Analyzer with a Run
+// function over a type-checked Pass — on top of the standard library's
+// go/ast and go/types.
 //
-// Two things differ from x/tools by design:
+// Three things differ from x/tools by design:
 //
 //   - Suppression is first-class. A diagnostic is silenced only by a
 //     //rbsglint:allow <analyzer> -- <reason> comment on the same line
 //     or the line directly above, and the reason is mandatory: a
 //     directive without one is itself reported and suppresses nothing.
-//   - There are no facts or cross-package dependencies; every pass is
-//     a pure function of one type-checked package.
+//     A directive naming an analyzer that does not exist in the running
+//     suite is a stale suppression and is reported too.
+//   - Facts (see facts.go) are keyed by stable object names rather than
+//     objectpath encodings: only package-level objects and methods of
+//     named types carry facts, which is all the suite needs.
+//   - Packages are processed in dependency order, so a pass may read
+//     facts exported by its imports in the same run.
 package analysis
 
 import (
@@ -24,6 +30,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer describes one static check.
@@ -32,6 +39,11 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the contract it enforces.
 	Doc string
+	// FactTypes lists the fact types the analyzer may export; each must
+	// also be registered with RegisterFact. Analyzers with fact types
+	// run over facts-only packages (dependencies of the analysis
+	// targets) so their facts are available to dependents.
+	FactTypes []Fact
 	// Run reports diagnostics for one package through the pass.
 	Run func(*Pass) error
 }
@@ -43,7 +55,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Dir is the package's source directory (for checks that consult
+	// the module layout, e.g. registryhygiene's register.go scan).
+	Dir string
 
+	facts *Facts
+	dirs  directiveSet
 	diags []Diagnostic
 }
 
@@ -71,6 +88,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Allowed reports whether a well-formed //rbsglint:allow directive for
+// this pass's analyzer covers pos (same line or the line above).
+// Analyzers that compute facts consult it so that an allowed construct
+// does not poison the fact — otherwise every caller of the annotated
+// function would need its own directive, cascading one justified
+// suppression through the call graph.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.dirs.suppresses(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
 // TypeOf returns the type of expression e, or nil if unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	if tv, ok := p.TypesInfo.Types[e]; ok {
@@ -84,25 +111,61 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// Run applies every analyzer to every package, resolves allow
-// directives, and returns the surviving diagnostics sorted by position.
-// Framework findings (malformed directives) are included and cannot be
-// suppressed.
+// Run applies every analyzer to every package with a fresh fact store.
+// See RunFacts.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunFacts(pkgs, analyzers, NewFacts())
+}
+
+// RunFacts applies every analyzer to every package, resolves allow
+// directives, and returns the surviving diagnostics sorted by position.
+// Packages must arrive in dependency order (imports before importers)
+// so facts flow forward; facts may be pre-seeded (the vet protocol's
+// .vetx files) through the store. Facts-only packages contribute facts
+// but no diagnostics. Framework findings — malformed directives, and
+// directives naming analyzers absent from the running suite (stale
+// suppressions) — are included and cannot be suppressed.
+func RunFacts(pkgs []*Package, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		dirs, malformed := parseDirectives(pkg.Fset, pkg.Files)
-		out = append(out, malformed...)
+		facts.addPackage(pkg.Path)
+		dirs, uses, malformed := parseDirectives(pkg.Fset, pkg.Files)
+		if !pkg.FactsOnly {
+			out = append(out, malformed...)
+			for _, u := range uses {
+				if !known[u.analyzer] {
+					out = append(out, Diagnostic{
+						Analyzer: "rbsglint",
+						Pos:      pkg.Fset.Position(u.pos),
+						Message: fmt.Sprintf("stale suppression: directive names analyzer %q, which is not in the running suite (%s)",
+							u.analyzer, strings.Join(sortedNames(known), ", ")),
+					})
+				}
+			}
+		}
 		for _, a := range analyzers {
+			if pkg.FactsOnly && len(a.FactTypes) == 0 {
+				continue // nothing a dependent could observe
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Dir:       pkg.Dir,
+				facts:     facts,
+				dirs:      dirs,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			if pkg.FactsOnly {
+				continue
 			}
 			for _, d := range pass.diags {
 				if !dirs.suppresses(a.Name, d.Pos) {
@@ -125,4 +188,46 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return out, nil
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FuncMarked reports whether decl's doc comment (or a comment on the
+// func line) carries the //rbsglint:<marker> annotation — the mechanism
+// hotpathalloc ("hotpath") and remapboundary ("remapboundary") use to
+// designate sanctioned functions.
+func FuncMarked(files []*ast.File, fset *token.FileSet, decl *ast.FuncDecl, marker string) bool {
+	want := "//rbsglint:" + marker
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if text, ok := strings.CutPrefix(c.Text, want); ok && (text == "" || text[0] == ' ' || text[0] == '\t') {
+				return true
+			}
+		}
+	}
+	// Same-line trailing comment: //rbsglint:hotpath after the signature.
+	declLine := fset.Position(decl.Pos()).Line
+	for _, f := range files {
+		if fset.Position(f.Pos()).Filename != fset.Position(decl.Pos()).Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if fset.Position(c.Pos()).Line != declLine {
+					continue
+				}
+				if text, ok := strings.CutPrefix(c.Text, want); ok && (text == "" || text[0] == ' ' || text[0] == '\t') {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }

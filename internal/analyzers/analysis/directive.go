@@ -33,12 +33,22 @@ func (s directiveSet) suppresses(name string, pos token.Position) bool {
 		s[directiveKey{pos.Filename, pos.Line - 1, name}]
 }
 
+// directiveUse records one analyzer name appearing in a well-formed
+// directive, so the framework can flag stale suppressions (names no
+// running analyzer answers to).
+type directiveUse struct {
+	pos      token.Pos
+	analyzer string
+}
+
 // parseDirectives extracts every rbsglint:allow directive from the
-// files. Well-formed ones land in the returned set; malformed ones
-// (missing analyzer list or missing " -- reason") become framework
-// diagnostics that cannot themselves be suppressed.
-func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveSet, []Diagnostic) {
+// files. Well-formed ones land in the returned set (with their analyzer
+// names in uses); malformed ones (missing analyzer list or missing
+// " -- reason") become framework diagnostics that cannot themselves be
+// suppressed.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveSet, []directiveUse, []Diagnostic) {
 	set := directiveSet{}
+	var uses []directiveUse
 	var malformed []Diagnostic
 	report := func(pos token.Pos, msg string) {
 		malformed = append(malformed, Diagnostic{
@@ -68,6 +78,7 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveSet, []Di
 					}
 					any = true
 					set[directiveKey{pos.Filename, pos.Line, n}] = true
+					uses = append(uses, directiveUse{pos: c.Pos(), analyzer: n})
 				}
 				if !any {
 					report(c.Pos(), "malformed "+directivePrefix+" directive: no analyzer named")
@@ -75,5 +86,5 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (directiveSet, []Di
 			}
 		}
 	}
-	return set, malformed
+	return set, uses, malformed
 }

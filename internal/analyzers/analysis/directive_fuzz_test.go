@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirectives hammers the allow-directive grammar with
+// arbitrary comment text. The parser must never panic, and the
+// structural invariants must hold on every input it accepts:
+//
+//   - every set entry names a non-empty analyzer, and each named
+//     analyzer appears in uses (the stale-suppression feed);
+//   - a comment is either a valid directive or a malformed-directive
+//     diagnostic, never both;
+//   - malformed diagnostics carry the framework analyzer name so they
+//     cannot be suppressed by any per-analyzer directive.
+func FuzzParseDirectives(f *testing.F) {
+	f.Add("//rbsglint:allow simdeterminism -- seeded clock for replay")
+	f.Add("//rbsglint:allow a,b -- two analyzers, one line")
+	f.Add("//rbsglint:allow hotpathalloc --")
+	f.Add("//rbsglint:allow -- no analyzer named")
+	f.Add("//rbsglint:allow , , -- only separators")
+	f.Add("//rbsglint:allowx -- not the directive")
+	f.Add("// rbsglint:allow spaced -- prefix must be flush")
+	f.Add("//rbsglint:allow\ta\t--\treason")
+	f.Add("//rbsglint:allow a -- r -- s")
+	f.Add("//rbsglint:allow \x00 -- nul")
+	f.Fuzz(func(t *testing.T, comment string) {
+		// Keep the fuzzed text a single line comment: newlines would
+		// change the file shape rather than the directive grammar.
+		comment = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' {
+				return ' '
+			}
+			return r
+		}, comment)
+		src := "package p\n\n//" + comment + "\nfunc f() {}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip() // not a parseable comment; grammar never sees it
+		}
+		set, uses, malformed := parseDirectives(fset, []*ast.File{file})
+
+		named := map[string]bool{}
+		for _, u := range uses {
+			if u.analyzer == "" {
+				t.Fatalf("use with empty analyzer name for %q", comment)
+			}
+			named[u.analyzer] = true
+		}
+		for k := range set {
+			if k.analyzer == "" {
+				t.Fatalf("set entry with empty analyzer name for %q", comment)
+			}
+			if !named[k.analyzer] {
+				t.Fatalf("set entry %q missing from uses for %q", k.analyzer, comment)
+			}
+		}
+		if len(set) > 0 && len(malformed) > 0 {
+			t.Fatalf("comment both accepted and malformed: %q", comment)
+		}
+		for _, d := range malformed {
+			if d.Analyzer != "rbsglint" {
+				t.Fatalf("malformed diagnostic attributed to %q, want rbsglint", d.Analyzer)
+			}
+			if !strings.Contains(d.Message, "malformed") {
+				t.Fatalf("malformed diagnostic without marker: %q", d.Message)
+			}
+		}
+	})
+}

@@ -15,7 +15,8 @@ func parseSrc(t *testing.T, src string) (directiveSet, []Diagnostic) {
 	if err != nil {
 		t.Fatalf("parsing fixture source: %v", err)
 	}
-	return parseDirectives(fset, []*ast.File{f})
+	set, _, malformed := parseDirectives(fset, []*ast.File{f})
+	return set, malformed
 }
 
 func TestDirectiveParsing(t *testing.T) {

@@ -26,6 +26,10 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// FactsOnly marks a dependency loaded solely so fact-producing
+	// analyzers can observe it: it contributes facts to the store but
+	// no diagnostics (mirroring the vet protocol's VetxOnly mode).
+	FactsOnly bool
 }
 
 // listedPackage is the subset of `go list -json` output the loaders use.
@@ -128,10 +132,15 @@ func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, err
 }
 
 // Load type-checks the non-test compilation of every package matched by
-// patterns (relative to dir, e.g. "./...") and returns them sorted by
-// import path. It shells out to `go list -export` once, so the module's
-// own dependency graph arrives as compiled export data and only the
-// matched packages themselves are parsed from source.
+// patterns (relative to dir, e.g. "./...") and returns them in
+// dependency order (imports before importers — the order `go list
+// -deps` emits), so facts computed for a dependency are in the store by
+// the time its dependents are analyzed. It shells out to `go list
+// -export` once, so the standard library arrives as compiled export
+// data; matched packages are parsed from source, and unmatched
+// in-module dependencies (reachable when patterns name a subset of the
+// module) are parsed too but marked FactsOnly — they contribute facts,
+// not diagnostics.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -155,7 +164,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := newExportImporter(fset, exports, nil)
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+		if p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
 		files, err := parseDir(fset, p.Dir, p.GoFiles)
@@ -175,9 +184,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Files:     files,
 			Types:     tpkg,
 			TypesInfo: info,
+			FactsOnly: p.DepOnly,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }
 

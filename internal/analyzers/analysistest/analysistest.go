@@ -14,6 +14,16 @@
 // pipeline — including //rbsglint:allow suppression — so fixtures can
 // also prove that a directive with a reason silences a finding and
 // that one without a reason does not.
+//
+// Fact-producing analyzers are tested with named expectations:
+//
+//	func Helper() {} // want Helper:`allocfree`
+//
+// asserts that after the run the fact store holds a fact for the
+// object keyed "Helper" in the enclosing fixture package whose
+// String() matches the regexp. Method facts use the "Recv.Name" key
+// (e.g. `// want Scheme.SetStages:"mutates"`). Fact expectations and
+// diagnostic expectations can share one want clause.
 package analysistest
 
 import (
@@ -31,13 +41,23 @@ import (
 // wantRe matches the trailing want clause of a fixture line.
 var wantRe = regexp.MustCompile(`// want (.*)$`)
 
-// quotedRe matches one backquoted or double-quoted expectation.
-var quotedRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+// expectRe matches one expectation: an optional `Object:` or
+// `Recv.Name:` prefix (a fact assertion) followed by a backquoted or
+// double-quoted regexp.
+var expectRe = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_]*(?:\\.[A-Za-z_][A-Za-z0-9_]*)?):)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// expectation is one parsed want entry. obj == "" means a diagnostic
+// expectation; otherwise it names the fact key the assertion is about.
+type expectation struct {
+	obj string
+	re  *regexp.Regexp
+}
 
 // Run loads the fixture packages at the given import paths from
 // testdata/src, applies the analyzer through the framework (directive
 // suppression included), and fails the test on any mismatch between
-// diagnostics and // want annotations.
+// diagnostics and // want annotations. Fact expectations are checked
+// against the run's fact store.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
@@ -48,7 +68,8 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	if err != nil {
 		t.Fatalf("loading fixtures: %v", err)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	facts := analysis.NewFacts()
+	diags, err := analysis.RunFacts(pkgs, []*analysis.Analyzer{a}, facts)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -65,8 +86,12 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 
 	// Walk every fixture file of the analyzed packages and pair wants
-	// with diagnostics.
+	// with diagnostics and facts.
 	for _, pkg := range pkgs {
+		factStrings := map[string][]string{}
+		for _, of := range facts.PackageFacts(pkg.Path) {
+			factStrings[of.Obj] = append(factStrings[of.Obj], fmt.Sprint(of.Fact))
+		}
 		entries, err := os.ReadDir(pkg.Dir)
 		if err != nil {
 			t.Fatal(err)
@@ -86,15 +111,19 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 				remaining := got[k]
 				delete(got, k)
 				for _, w := range wants {
+					if w.obj != "" {
+						matchFact(t, path, i+1, factStrings, w)
+						continue
+					}
 					idx := -1
 					for j, d := range remaining {
-						if w.MatchString(d.Message) {
+						if w.re.MatchString(d.Message) {
 							idx = j
 							break
 						}
 					}
 					if idx < 0 {
-						t.Errorf("%s:%d: no diagnostic matching %q (have %s)", path, i+1, w, messages(remaining))
+						t.Errorf("%s:%d: no diagnostic matching %q (have %s)", path, i+1, w.re, messages(remaining))
 						continue
 					}
 					remaining = append(remaining[:idx], remaining[idx+1:]...)
@@ -111,30 +140,47 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	}
 }
 
-// parseWants extracts the expected-diagnostic regexps from one line.
-func parseWants(t *testing.T, file string, lineno int, line string) []*regexp.Regexp {
+// matchFact checks one fact expectation against the facts recorded for
+// the fixture package owning the annotated line.
+func matchFact(t *testing.T, file string, lineno int, factStrings map[string][]string, w expectation) {
+	t.Helper()
+	for _, s := range factStrings[w.obj] {
+		if w.re.MatchString(s) {
+			return
+		}
+	}
+	have := factStrings[w.obj]
+	if len(have) == 0 {
+		t.Errorf("%s:%d: no fact recorded for object %q", file, lineno, w.obj)
+		return
+	}
+	t.Errorf("%s:%d: no fact on %q matching %q (have %q)", file, lineno, w.obj, w.re, have)
+}
+
+// parseWants extracts the expectations from one line.
+func parseWants(t *testing.T, file string, lineno int, line string) []expectation {
 	t.Helper()
 	m := wantRe.FindStringSubmatch(line)
 	if m == nil {
 		return nil
 	}
-	var wants []*regexp.Regexp
-	for _, q := range quotedRe.FindAllString(m[1], -1) {
+	var wants []expectation
+	for _, q := range expectRe.FindAllStringSubmatch(m[1], -1) {
 		var pat string
-		if strings.HasPrefix(q, "`") {
-			pat = strings.Trim(q, "`")
+		if strings.HasPrefix(q[2], "`") {
+			pat = strings.Trim(q[2], "`")
 		} else {
 			var err error
-			pat, err = strconv.Unquote(q)
+			pat, err = strconv.Unquote(q[2])
 			if err != nil {
-				t.Fatalf("%s:%d: bad want expectation %s: %v", file, lineno, q, err)
+				t.Fatalf("%s:%d: bad want expectation %s: %v", file, lineno, q[2], err)
 			}
 		}
 		re, err := regexp.Compile(pat)
 		if err != nil {
 			t.Fatalf("%s:%d: bad want regexp %q: %v", file, lineno, pat, err)
 		}
-		wants = append(wants, re)
+		wants = append(wants, expectation{obj: q[1], re: re})
 	}
 	if len(wants) == 0 {
 		t.Fatalf("%s:%d: // want clause with no expectations", file, lineno)

@@ -1,13 +1,19 @@
 // Package analyzers registers the rbsglint suite: the custom static
 // checks that turn this repo's prose contracts (deterministic
-// simulation, single-writer banks, panic-free data paths) into CI
-// failures. See DESIGN.md "Mechanized invariants" for the catalogue.
+// simulation, single-writer banks, panic-free data paths, alloc-free
+// hot paths, remap-boundary level changes, registry hygiene, metric
+// naming) into CI failures. See DESIGN.md "Mechanized invariants" for
+// the catalogue.
 package analyzers
 
 import (
 	"securityrbsg/internal/analyzers/analysis"
 	"securityrbsg/internal/analyzers/bankisolation"
+	"securityrbsg/internal/analyzers/hotpathalloc"
+	"securityrbsg/internal/analyzers/metriccontract"
 	"securityrbsg/internal/analyzers/panicpolicy"
+	"securityrbsg/internal/analyzers/registryhygiene"
+	"securityrbsg/internal/analyzers/remapboundary"
 	"securityrbsg/internal/analyzers/simdeterminism"
 )
 
@@ -17,5 +23,9 @@ func All() []*analysis.Analyzer {
 		simdeterminism.Analyzer,
 		bankisolation.Analyzer,
 		panicpolicy.Analyzer,
+		hotpathalloc.Analyzer,
+		remapboundary.Analyzer,
+		registryhygiene.Analyzer,
+		metriccontract.Analyzer,
 	}
 }

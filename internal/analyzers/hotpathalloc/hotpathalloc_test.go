@@ -1,0 +1,20 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysistest"
+	"securityrbsg/internal/analyzers/hotpathalloc"
+)
+
+func TestConstructsAndExemptions(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "securityrbsg/hot/a")
+}
+
+// TestCrossPackageFacts loads the dependency first (as the framework's
+// dependency-order contract requires) and checks that violations in
+// securityrbsg/hot/use are detected purely through AllocProfile facts
+// imported from securityrbsg/hot/dep.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "securityrbsg/hot/dep", "securityrbsg/hot/use")
+}

@@ -1,0 +1,131 @@
+// Package a exercises the hotpathalloc construct detection, the
+// cold-path / amortized-growth exemptions, allow-directive handling,
+// and same-package why-chains.
+package a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// Every allocating construct fires inside a hot-path root.
+//
+//rbsglint:hotpath
+func Constructs(v uint64, s string) {
+	b := make([]byte, 8) // want `hot path: make allocates`
+	_ = b
+	p := new(point) // want `hot path: new allocates`
+	_ = p
+	q := &point{1, 2} // want `hot path: address-of composite literal allocates`
+	_ = q
+	xs := []int{1, 2} // want `hot path: slice literal allocates`
+	_ = xs
+	m := map[string]int{} // want `hot path: map literal allocates`
+	_ = m
+	t := s + "!" // want `hot path: string concatenation allocates`
+	_ = t
+	raw := []byte(s) // want `hot path: conversion \[\]byte\(string\) allocates`
+	_ = raw
+	f := func() {} // want `hot path: function literal allocates`
+	_ = f
+	go spin() // want `hot path: go statement allocates`
+	fmt.Println(v) // want `hot path: calls fmt.Println, which is not on the alloc-free safe list`
+}
+
+func spin() {} // want spin:`allocfree`
+
+// The pool-refill idiom: a make guarded by a cap() check is amortized
+// growth, not a per-operation allocation.
+//
+//rbsglint:hotpath
+func Amortized(buf []byte, n int) []byte { // want Amortized:`allocfree`
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// Error handling is a cold path: the if-body terminates in return.
+//
+//rbsglint:hotpath
+func ColdError(v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("negative: %d", v)
+	}
+	return v * 2, nil
+}
+
+// Panic guards are cold too (and panic args are exempt regardless).
+//
+//rbsglint:hotpath
+func Guarded(v int) int {
+	if v > 1<<40 {
+		panic(fmt.Sprintf("out of range: %d", v))
+	}
+	return v * 3
+}
+
+// A call to an allocating same-package helper is exempt on cold paths
+// too: the error-handling branch must not taint the hot caller.
+//
+//rbsglint:hotpath
+func ColdHelperCall(v int) int { // want ColdHelperCall:`allocfree`
+	if v < 0 {
+		helperAllocs()
+		return 0
+	}
+	return v * 2
+}
+
+// An allow directive excludes the construct from the fact as well, so
+// the suppression does not cascade to callers.
+func logged(v int) { // want logged:`allocfree`
+	fmt.Println(v) //rbsglint:allow hotpathalloc -- startup-only logging, measured off the hot loop
+}
+
+//rbsglint:hotpath
+func CallsLogged(v int) {
+	logged(v)
+}
+
+// Unmarked functions produce facts, not diagnostics; a hot root
+// calling one reports the chain at the call site.
+func helperAllocs() *point { // want helperAllocs:`allocates: address-of composite literal`
+	return &point{}
+}
+
+//rbsglint:hotpath
+func Chain() {
+	p := helperAllocs() // want `hot path: calls a\.helperAllocs, which allocates \(address-of composite literal\)`
+	_ = p
+}
+
+// Two-hop chains keep the leaf construct visible.
+func midAllocs() *point { // want midAllocs:`allocates: calls a\.helperAllocs`
+	return helperAllocs()
+}
+
+//rbsglint:hotpath
+func DeepChain() {
+	p := midAllocs() // want `hot path: calls a\.midAllocs, which calls a\.helperAllocs, which allocates \(address-of composite literal\)`
+	_ = p
+}
+
+// Mutual recursion cannot be proven alloc-free.
+func pingPong(n int) int { // want pingPong:`allocates:.*recursive`
+	if n == 0 {
+		return 0
+	}
+	return pongPing(n - 1)
+}
+
+func pongPing(n int) int { // want pongPing:`allocates:.*recursive`
+	return pingPong(n)
+}
+
+// Dynamic dispatch ends the chain: the interface method is trusted.
+type sink interface{ Put(v uint64) }
+
+//rbsglint:hotpath
+func Dynamic(s sink, v uint64) { // want Dynamic:`allocfree`
+	s.Put(v)
+}

@@ -1,0 +1,35 @@
+// Package dep is the imported half of the cross-package fact fixture:
+// its alloc profiles are computed first (dependency order) and
+// consumed while analyzing securityrbsg/hot/use.
+package dep
+
+import "strconv"
+
+// AppendValue writes into a caller-provided buffer via the strconv
+// Append family — alloc-free.
+func AppendValue(dst []byte, v uint64) []byte { // want AppendValue:`allocfree`
+	dst = append(dst, 'v', '=')
+	return strconv.AppendUint(dst, v, 10)
+}
+
+// Format allocates: the violation is only visible to importers
+// through the exported fact.
+func Format(v uint64) string { // want Format:`allocates: calls strconv\.FormatUint`
+	return strconv.FormatUint(v, 10)
+}
+
+// Buffer is a tiny pooled-buffer type; its methods carry method-keyed
+// facts ("Buffer.Grow").
+type Buffer struct{ b []byte }
+
+// Grow uses the amortized refill idiom.
+func (u *Buffer) Grow(n int) { // want Buffer.Grow:`allocfree`
+	if cap(u.b) < n {
+		u.b = make([]byte, 0, n)
+	}
+}
+
+// Reset allocates a fresh backing array every call.
+func (u *Buffer) Reset(n int) { // want Buffer.Reset:`allocates: make`
+	u.b = make([]byte, 0, n)
+}

@@ -1,0 +1,26 @@
+// Package use consumes securityrbsg/hot/dep: the violations below are
+// only detectable through AllocProfile facts imported from the
+// dependency — nothing in this package allocates directly.
+package use
+
+import "securityrbsg/hot/dep"
+
+//rbsglint:hotpath
+func EncodeHot(dst []byte, v uint64) []byte { // want EncodeHot:`allocfree`
+	return dep.AppendValue(dst, v)
+}
+
+//rbsglint:hotpath
+func FormatHot(v uint64) string {
+	return dep.Format(v) // want `hot path: calls dep\.Format, which calls strconv\.FormatUint, which is not on the alloc-free safe list`
+}
+
+//rbsglint:hotpath
+func GrowHot(b *dep.Buffer) {
+	b.Grow(64)
+}
+
+//rbsglint:hotpath
+func ResetHot(b *dep.Buffer) {
+	b.Reset(64) // want `hot path: calls dep\.Buffer\.Reset, which allocates \(make\)`
+}

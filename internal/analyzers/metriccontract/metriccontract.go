@@ -1,0 +1,212 @@
+// Package metriccontract enforces the memserver /metrics naming
+// contract: metric names are Prometheus-conventional — counters end in
+// _total, gauges do not, names are lower_snake_case — and no name is
+// emitted twice. The check is deliberately repo-shaped: it looks at
+// the memserver package's declarative metric table (entries of a
+// struct with name/help/kind fields) and at calls to the local gauge()
+// render helper, which together define everything /metrics exposes.
+//
+// The dashboards and the tournament harness join series by name, so a
+// rename or a convention slip is an observable break even though no Go
+// type changes; this pass turns it into a lint failure instead.
+package metriccontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"securityrbsg/internal/analyzers/analysis"
+)
+
+// Analyzer is the metriccontract pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriccontract",
+	Doc:  "memserver metric names follow Prometheus conventions (counters _total, gauges bare, no duplicates)",
+	Run:  run,
+}
+
+// nameRe is the conventional Prometheus metric-name shape (the
+// exporter prefixes "memctld_" itself).
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/memserver") {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				elem, ok := metricTableElem(pass, n)
+				if !ok {
+					return true
+				}
+				for _, el := range n.Elts {
+					if entry, ok := el.(*ast.CompositeLit); ok {
+						checkEntry(pass, entry, elem, seen)
+					}
+				}
+				return false // entries handled; don't re-visit as bare literals
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "gauge" && len(n.Args) >= 2 {
+					if name, ok := constString(pass, n.Args[0]); ok {
+						checkName(pass, n.Args[0].Pos(), name, "gauge", seen)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// metricTableElem matches a slice literal whose element type is a
+// struct with string fields name, help and kind — the memserver
+// metric table — and returns that element struct.
+func metricTableElem(pass *analysis.Pass, lit *ast.CompositeLit) (*types.Struct, bool) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return nil, false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	st, ok := sl.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	want := map[string]bool{"name": false, "help": false, "kind": false}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if _, tracked := want[f.Name()]; tracked && isString(f.Type()) {
+			want[f.Name()] = true
+		}
+	}
+	for _, found := range want {
+		if !found {
+			return nil, false
+		}
+	}
+	return st, true
+}
+
+// checkEntry validates one metric-table entry literal (keyed or
+// positional against the element struct's field order).
+func checkEntry(pass *analysis.Pass, entry *ast.CompositeLit, elem *types.Struct, seen map[string]bool) {
+	fields := map[string]ast.Expr{}
+	positional := true
+	for _, el := range entry.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			positional = false
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				fields[id.Name] = kv.Value
+			}
+		}
+	}
+	if positional {
+		for i, el := range entry.Elts {
+			if i < elem.NumFields() {
+				fields[elem.Field(i).Name()] = el
+			}
+		}
+	}
+	nameExpr, kindExpr, valueExpr := fields["name"], fields["kind"], fields["value"]
+	name, nameOK := constString(pass, nameExpr)
+	if !nameOK {
+		return // computed name: nothing to check statically
+	}
+	kind, kindOK := constString(pass, kindExpr)
+	if !kindOK {
+		kind = ""
+	}
+	pos := entry.Pos()
+	if nameExpr != nil {
+		pos = nameExpr.Pos()
+	}
+	if kindOK && kind != "counter" && kind != "gauge" {
+		if !pass.Allowed(pos) {
+			pass.Reportf(pos, "metric %q: kind %q is neither counter nor gauge", name, kind)
+		}
+		return
+	}
+	checkName(pass, pos, name, kind, seen)
+	if fl, ok := valueExpr.(*ast.FuncLit); ok && !readsParams(pass, fl) && !pass.Allowed(valueExpr.Pos()) {
+		pass.Reportf(valueExpr.Pos(), "metric %q: value closure reads none of its snapshot/actor parameters", name)
+	}
+}
+
+// checkName applies the naming and duplicate rules shared by table
+// entries and gauge() calls.
+func checkName(pass *analysis.Pass, pos token.Pos, name, kind string, seen map[string]bool) {
+	if pass.Allowed(pos) {
+		return
+	}
+	if !nameRe.MatchString(name) {
+		pass.Reportf(pos, "metric %q is not a valid Prometheus metric name (want [a-z][a-z0-9_]*)", name)
+		return
+	}
+	if seen[name] {
+		pass.Reportf(pos, "duplicate metric name %q", name)
+	}
+	seen[name] = true
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total (Prometheus convention)", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total (the suffix marks counters)", name)
+		}
+	}
+}
+
+// readsParams reports whether the closure's body references any of
+// its own parameters — a value closure that ignores the snapshot it
+// is handed is reporting something else than it claims.
+func readsParams(pass *analysis.Pass, fl *ast.FuncLit) bool {
+	params := map[types.Object]bool{}
+	if fl.Type.Params != nil {
+		for _, field := range fl.Type.Params.List {
+			for _, id := range field.Names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && params[pass.TypesInfo.Uses[id]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// constString resolves a constant string expression.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	if e == nil {
+		return "", false
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

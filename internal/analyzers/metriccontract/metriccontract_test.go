@@ -1,0 +1,12 @@
+package metriccontract_test
+
+import (
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysistest"
+	"securityrbsg/internal/analyzers/metriccontract"
+)
+
+func TestMetricTable(t *testing.T) {
+	analysistest.Run(t, metriccontract.Analyzer, "securityrbsg/ms/internal/memserver")
+}

@@ -1,0 +1,41 @@
+// Package memserver mirrors the real exporter's shapes: a gauge()
+// render helper plus a declarative metric table.
+package memserver
+
+type BankSnapshot struct {
+	Writes uint64
+	Depth  uint64
+}
+
+type actor struct{ queued uint64 }
+
+func render() {
+	gauge := func(name, help string, v uint64) {}
+	gauge("banks", "Bank count.", 4)
+	gauge("live_total", "Mislabeled gauge.", 1) // want `gauge "live_total" must not end in _total`
+
+	type metric struct {
+		name, help, kind string
+		value            func(a *actor, snap *BankSnapshot) uint64
+	}
+	metrics := []metric{
+		{"demand_writes_total", "Writes.", "counter",
+			func(a *actor, s *BankSnapshot) uint64 { return s.Writes }},
+		{"sim_elapsed_ns", "Elapsed.", "counter", // want `counter "sim_elapsed_ns" must end in _total`
+			func(a *actor, s *BankSnapshot) uint64 { return s.Writes }},
+		{"queue_depth_total", "Depth.", "gauge", // want `gauge "queue_depth_total" must not end in _total`
+			func(a *actor, s *BankSnapshot) uint64 { return s.Depth }},
+		{"oops_kind", "Bad kind.", "histogram", // want `metric "oops_kind": kind "histogram" is neither counter nor gauge`
+			func(a *actor, s *BankSnapshot) uint64 { return s.Depth }},
+		{"demand_writes_total", "Dup.", "counter", // want `duplicate metric name "demand_writes_total"`
+			func(a *actor, s *BankSnapshot) uint64 { return s.Writes }},
+		{"BadName", "Case.", "gauge", // want `metric "BadName" is not a valid Prometheus metric name`
+			func(a *actor, s *BankSnapshot) uint64 { return s.Depth }},
+		{"constant_one", "Ignores snapshot.", "gauge",
+			func(a *actor, s *BankSnapshot) uint64 { return 1 }}, // want `metric "constant_one": value closure reads none of its snapshot/actor parameters`
+		{"allowed_one", "Deliberately constant.", "gauge",
+			//rbsglint:allow metriccontract -- build-info style constant, documented
+			func(a *actor, s *BankSnapshot) uint64 { return 2 }},
+	}
+	_ = metrics
+}

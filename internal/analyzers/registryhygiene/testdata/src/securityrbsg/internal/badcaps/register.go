@@ -1,0 +1,24 @@
+package badcaps
+
+import "securityrbsg/internal/registry"
+
+// Registrations in the right place but with capability/constructor
+// mismatches the registry would panic over at init time.
+func init() {
+	registry.RegisterScheme(registry.Scheme{ // want `scheme "no-ctor" declares Caps\.Exact but sets no New`
+		Name: "no-ctor",
+		Caps: registry.SchemeCaps{Exact: true},
+	})
+	registry.RegisterScheme(registry.Scheme{ // want `scheme "undeclared" sets New but does not declare Caps\.Exact`
+		Name: "undeclared",
+		New:  func() error { return nil },
+	})
+	registry.RegisterScheme(registry.Scheme{ // want `scheme "floaty" declares Caps\.AdjustableLevel without Exact`
+		Name: "floaty",
+		Caps: registry.SchemeCaps{AdjustableLevel: true},
+	})
+	registry.RegisterAttack(registry.Attack{ // want `attack "no-run" declares Caps\.Exact but sets no RunExact`
+		Name: "no-run",
+		Caps: registry.AttackCaps{Exact: true},
+	})
+}

@@ -1,0 +1,23 @@
+package goodscheme
+
+import "securityrbsg/internal/registry"
+
+// A well-formed plugin: registrations in register.go init(), caps
+// matching constructors. No findings.
+func init() {
+	registry.RegisterScheme(registry.Scheme{
+		Name: "good",
+		Doc:  "exact-tier scheme with a constructor",
+		Caps: registry.SchemeCaps{Exact: true, TimingOracle: true},
+		New:  func() error { return nil },
+	})
+	registry.RegisterScheme(registry.Scheme{
+		Name: "good-model",
+		Doc:  "model-only scheme: no caps, no constructor",
+	})
+	registry.RegisterAttack(registry.Attack{
+		Name:     "good-attack",
+		Caps:     registry.AttackCaps{Exact: true},
+		RunExact: func() error { return nil },
+	})
+}

@@ -1,0 +1,5 @@
+// Package noreg performs no registrations; blank-importing it from
+// plugins is dead weight.
+package noreg
+
+func Helper() int { return 1 }

@@ -1,0 +1,10 @@
+// Package orphan registers correctly but nothing links it: it is not
+// blank-imported by internal/plugins and does not import plugins
+// itself. The finding lands in the plugins package.
+package orphan
+
+import "securityrbsg/internal/registry"
+
+func init() {
+	registry.RegisterAttack(registry.Attack{Name: "orphan"})
+}

@@ -1,0 +1,31 @@
+// Package registry stubs the real plugin registry: the same entry
+// types and Default-registry helpers, enough for the hygiene fixtures
+// to register against. The package itself is exempt from the pass.
+package registry
+
+type SchemeCaps struct {
+	Exact           bool
+	TimingOracle    bool
+	AdjustableLevel bool
+}
+
+type Scheme struct {
+	Name string
+	Doc  string
+	Caps SchemeCaps
+	New  func() error
+}
+
+type AttackCaps struct{ Exact bool }
+
+type Attack struct {
+	Name     string
+	Doc      string
+	Caps     AttackCaps
+	RunExact func() error
+}
+
+func RegisterScheme(s Scheme)                        {}
+func RegisterAttack(a Attack)                        {}
+func RegisterModel(scheme, attack string, fn func()) {}
+func RegisterAccelerator(fn func())                  {}

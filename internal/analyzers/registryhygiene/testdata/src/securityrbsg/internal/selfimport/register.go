@@ -1,0 +1,13 @@
+// Package selfimport mirrors internal/experiments: it imports plugins
+// for the full plugin set, so plugins cannot blank-import it back
+// (cycle). Its own plugins import satisfies reachability.
+package selfimport
+
+import (
+	_ "securityrbsg/internal/plugins"
+	"securityrbsg/internal/registry"
+)
+
+func init() {
+	registry.RegisterModel("good", "steady", func() {})
+}

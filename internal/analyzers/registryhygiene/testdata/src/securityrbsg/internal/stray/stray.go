@@ -1,0 +1,17 @@
+// Package stray registers from the wrong places: outside register.go
+// and outside init().
+package stray
+
+import "securityrbsg/internal/registry"
+
+var entry = registry.Scheme{ // want `registry\.Scheme literal outside register\.go`
+	Name: "stray",
+}
+
+func init() {
+	registry.RegisterScheme(entry) // want `registry\.RegisterScheme outside register\.go`
+}
+
+func Late() {
+	registry.RegisterModel("a", "b", func() {}) // want `registry\.RegisterModel outside register\.go` `registry\.RegisterModel outside init\(\)`
+}

@@ -1,0 +1,283 @@
+// Package remapboundary enforces the PR 7 timing-oracle contract:
+// calls that mutate the DFN stage count (and therefore redraw the
+// Feistel keys) may only happen at designated remap-round boundaries.
+// A mid-round level change leaks the detector's decision through the
+// remap timing, so every code path that reaches a stage-count mutation
+// must sit inside a function annotated //rbsglint:remapboundary — the
+// reviewed, sanctioned boundary call sites.
+//
+// The mutation intrinsics are (*core.Scheme).SetStages and the feistel
+// Network's SetStages/MustSetStages. The mechanism packages
+// (internal/core, internal/feistel) are exempt: they implement the
+// mutation, they do not decide when it happens.
+//
+// A LevelMutator fact marks every unannotated function that reaches a
+// mutation through static calls, so the chain is followed across
+// packages: a helper in internal/seclevel that calls SetStages taints
+// its callers in internal/experiments too. Annotating a function stops
+// the propagation — it *is* the boundary, and calling it from
+// anywhere is sanctioned. Dynamic dispatch (interface methods, func
+// values) also ends the chain; schemes are driven through interfaces,
+// and the contract is about the static decision paths.
+package remapboundary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"securityrbsg/internal/analyzers/analysis"
+)
+
+// LevelMutator is the per-function fact: the function reaches a DFN
+// stage-count mutation through static calls without being annotated
+// as a remap boundary.
+type LevelMutator struct {
+	Why string
+}
+
+func (*LevelMutator) AFact() {}
+
+func (f *LevelMutator) String() string { return "levelmutator: " + f.Why }
+
+func init() { analysis.RegisterFact(&LevelMutator{}) }
+
+// Analyzer is the remapboundary pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "remapboundary",
+	Doc:       "DFN stage-count mutations may only happen inside //rbsglint:remapboundary functions",
+	FactTypes: []analysis.Fact{&LevelMutator{}},
+	Run:       run,
+}
+
+// intrinsic identifies one stage-count mutation method.
+type intrinsic struct {
+	pkg    string
+	recv   string
+	method string
+}
+
+// intrinsics are the mutation entry points of the mechanism packages.
+var intrinsics = []intrinsic{
+	{"securityrbsg/internal/core", "Scheme", "SetStages"},
+	{"securityrbsg/internal/feistel", "Network", "SetStages"},
+	{"securityrbsg/internal/feistel", "Network", "MustSetStages"},
+}
+
+// exemptPkgs implement the mutation mechanism and are not subject to
+// the boundary rule.
+var exemptPkgs = map[string]bool{
+	"securityrbsg/internal/core":    true,
+	"securityrbsg/internal/feistel": true,
+}
+
+const modulePrefix = "securityrbsg"
+
+type reason struct {
+	pos token.Pos
+	why string
+}
+
+type funcInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	marked  bool // carries //rbsglint:remapboundary
+	reasons []reason
+	calls   []sameCall
+	mutator bool
+}
+
+type sameCall struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+func run(pass *analysis.Pass) error {
+	if exemptPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	infos := map[*types.Func]*funcInfo{}
+	var order []*funcInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{
+				decl:   fd,
+				obj:    obj,
+				marked: analysis.FuncMarked(pass.Files, pass.Fset, fd, "remapboundary"),
+			}
+			collect(pass, fi)
+			infos[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	// Propagate mutator status through same-package calls. Annotated
+	// functions absorb the taint: they never become mutators.
+	for _, fi := range order {
+		fi.mutator = !fi.marked && len(fi.reasons) > 0
+	}
+	for {
+		changed := false
+		for _, fi := range order {
+			if fi.mutator || fi.marked {
+				continue
+			}
+			for _, c := range fi.calls {
+				if callee, ok := infos[c.callee]; ok && callee.mutator {
+					fi.mutator = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, fi := range order {
+		if !fi.mutator {
+			continue
+		}
+		fillReasons(infos, fi, map[*funcInfo]bool{})
+		pass.ExportObjectFact(fi.obj, &LevelMutator{Why: fi.reasons[0].why})
+		for _, r := range fi.reasons {
+			pass.Reportf(r.pos, "level mutation outside a remap boundary: %s; annotate the enclosing function with //rbsglint:remapboundary or move the call to a remap-round boundary", r.why)
+		}
+	}
+	return nil
+}
+
+// fillReasons resolves transitive why-chains for mutators whose only
+// reasons are same-package calls, depth-first with a cycle guard.
+func fillReasons(infos map[*types.Func]*funcInfo, fi *funcInfo, stack map[*funcInfo]bool) {
+	if len(fi.reasons) > 0 {
+		return
+	}
+	stack[fi] = true
+	defer delete(stack, fi)
+	for _, c := range fi.calls {
+		callee, ok := infos[c.callee]
+		if !ok || !callee.mutator {
+			continue
+		}
+		if stack[callee] {
+			continue
+		}
+		fillReasons(infos, callee, stack)
+		why := "reaches a stage-count mutation through recursion"
+		if len(callee.reasons) > 0 {
+			why = chainWhy(c.callee, callee.reasons[0].why)
+		}
+		fi.reasons = append(fi.reasons, reason{c.pos, why})
+	}
+	if len(fi.reasons) == 0 {
+		fi.reasons = append(fi.reasons, reason{fi.decl.Pos(), "reaches a stage-count mutation through recursion"})
+	}
+}
+
+func chainWhy(callee *types.Func, calleeWhy string) string {
+	why := fmt.Sprintf("calls %s, which %s", compactName(callee), calleeWhy)
+	if len(why) > 220 {
+		why = why[:217] + "..."
+	}
+	return why
+}
+
+// compactName renders pkg.Func or pkg.Recv.Method.
+func compactName(fn *types.Func) string {
+	name := fn.Name()
+	if key, ok := analysis.ObjectKey(fn); ok {
+		name = key
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// collect records intrinsic hits, cross-package mutator calls, and
+// same-package call edges for one function.
+func collect(pass *analysis.Pass, fi *funcInfo) {
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || pass.Allowed(call.Pos()) {
+			return true
+		}
+		if isIntrinsic(fn) {
+			fi.reasons = append(fi.reasons, reason{call.Pos(), fmt.Sprintf("calls %s, which mutates the DFN stage count", compactName(fn))})
+			return true
+		}
+		if fn.Pkg() == pass.Pkg {
+			fi.calls = append(fi.calls, sameCall{call.Pos(), fn})
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/") {
+			var m LevelMutator
+			if pass.ImportObjectFact(fn, &m) {
+				fi.reasons = append(fi.reasons, reason{call.Pos(), chainWhy(fn, m.Why)})
+			}
+		}
+		return true
+	})
+}
+
+func isIntrinsic(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, in := range intrinsics {
+		if fn.Name() == in.method && named.Obj().Name() == in.recv && fn.Pkg().Path() == in.pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallee resolves a call to the *types.Func it statically
+// invokes, or nil for dynamic dispatch and func values.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				return nil
+			}
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package remapboundary_test
+
+import (
+	"testing"
+
+	"securityrbsg/internal/analyzers/analysistest"
+	"securityrbsg/internal/analyzers/remapboundary"
+)
+
+func TestBoundaryContract(t *testing.T) {
+	analysistest.Run(t, remapboundary.Analyzer, "securityrbsg/rb/ctrl", "securityrbsg/rb/wrap")
+}

@@ -1,0 +1,8 @@
+// Package core stubs the real RBSG scheme: just enough surface for
+// the remapboundary fixtures to call the SetStages intrinsic. The
+// package itself is exempt (it implements the mechanism).
+package core
+
+type Scheme struct{ stages int }
+
+func (s *Scheme) SetStages(n int) { s.stages = n }

@@ -1,0 +1,39 @@
+// Package ctrl exercises the direct, annotated, transitive, and
+// suppressed forms of the remap-boundary contract.
+package ctrl
+
+import "securityrbsg/internal/core"
+
+// Direct mutation in an unannotated function: flagged, and the
+// LevelMutator fact taints callers in other packages.
+func Hasty(s *core.Scheme) { // want Hasty:`levelmutator: calls core\.Scheme\.SetStages`
+	s.SetStages(6) // want `level mutation outside a remap boundary: calls core\.Scheme\.SetStages, which mutates the DFN stage count`
+}
+
+// The sanctioned boundary: annotated, so no finding and no fact.
+//
+//rbsglint:remapboundary
+func ApplyAtBoundary(s *core.Scheme, n int) {
+	s.SetStages(n)
+}
+
+// Calling the boundary from anywhere is fine — the annotation stops
+// the taint.
+func Caller(s *core.Scheme) {
+	ApplyAtBoundary(s, 4)
+}
+
+// Transitive taint through a same-package call.
+func onTick(s *core.Scheme) { // want onTick:`levelmutator: calls core\.Scheme\.SetStages`
+	s.SetStages(2) // want `level mutation outside a remap boundary`
+}
+
+func Tick(s *core.Scheme) { // want Tick:`levelmutator: calls ctrl\.onTick`
+	onTick(s) // want `level mutation outside a remap boundary: calls ctrl\.onTick, which calls core\.Scheme\.SetStages, which mutates the DFN stage count`
+}
+
+// A justified allow quiets a call site without annotating the
+// function (and without exporting a taint fact).
+func migrated(s *core.Scheme) {
+	s.SetStages(8) //rbsglint:allow remapboundary -- test-only reset helper, never runs mid-round
+}

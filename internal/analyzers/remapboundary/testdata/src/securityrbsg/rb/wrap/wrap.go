@@ -1,0 +1,20 @@
+// Package wrap proves the taint crosses package boundaries through
+// the LevelMutator fact: nothing here touches SetStages directly.
+package wrap
+
+import (
+	"securityrbsg/internal/core"
+	"securityrbsg/rb/ctrl"
+)
+
+func Reconfigure(s *core.Scheme) { // want Reconfigure:`levelmutator: calls ctrl\.Hasty`
+	ctrl.Hasty(s) // want `level mutation outside a remap boundary: calls ctrl\.Hasty, which calls core\.Scheme\.SetStages, which mutates the DFN stage count`
+}
+
+// An annotated wrapper is a sanctioned boundary even when the
+// mutation happens two packages down.
+//
+//rbsglint:remapboundary
+func BoundaryWrap(s *core.Scheme) {
+	ctrl.Hasty(s)
+}

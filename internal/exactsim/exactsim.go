@@ -83,17 +83,23 @@ func NewFastTarget(c *wear.Controller, workers int) *FastTarget {
 func (t *FastTarget) Controller() *wear.Controller { return t.ctrl }
 
 // Write implements attack.Target.
+//
+//rbsglint:hotpath
 func (t *FastTarget) Write(la uint64, content pcm.Content) uint64 {
 	return t.ctrl.Write(la, content)
 }
 
 // Read implements attack.Target.
+//
+//rbsglint:hotpath
 func (t *FastTarget) Read(la uint64) (pcm.Content, uint64) {
 	return t.ctrl.Read(la)
 }
 
 // WriteRun implements attack.BatchTarget via the controller's batched
 // fast path.
+//
+//rbsglint:hotpath
 func (t *FastTarget) WriteRun(la uint64, content pcm.Content, n uint64, stopOnFail bool, onEvent func(i, ns uint64) bool) (issued, totalNs uint64) {
 	return t.ctrl.WriteRun(la, content, n, stopOnFail, onEvent)
 }
@@ -164,6 +170,11 @@ func sweepContent(la uint64, bit int) pcm.Content {
 // With no failure possible and each worker confined to a disjoint
 // pcm.Shard window, the per-worker counters merge commutatively, which
 // is what makes the result deterministic regardless of scheduling.
+//
+// Sweep itself is the orchestrator, not the kernel: its prologue
+// allocates worker state once per full-space pass (amortized over
+// LogicalLines() writes), so the //rbsglint:hotpath contract applies to
+// sweepWorker, which does the per-line work.
 func (t *FastTarget) Sweep(bit int) (writes, ns uint64, ok bool) {
 	if t.rb == nil || t.ctrl.TranslationNs != 0 {
 		return 0, 0, false
@@ -220,6 +231,8 @@ func (t *FastTarget) Sweep(bit int) (writes, ns uint64, ok bool) {
 // sweepWorker executes the sweep's writes for regions [rLo, rHi), each
 // region in the naive pass's ascending-address order, driving the bank
 // exclusively through the worker's own shard.
+//
+//rbsglint:hotpath
 func (t *FastTarget) sweepWorker(wg *sync.WaitGroup, shard *pcm.Shard, rLo, rHi uint64, bit int, events, moveNs *uint64) {
 	defer wg.Done()
 	per := t.rb.LinesPerRegion()

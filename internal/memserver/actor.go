@@ -87,6 +87,8 @@ func newActor(bank int, ctrl *wear.Controller, det *detector.AdaptiveRBSG, adapt
 // run is the actor loop: drain the queue until it closes, republishing
 // telemetry every snapEvery ops and once more on exit so post-drain
 // metrics are exact.
+//
+//rbsglint:hotpath
 func (a *actor) run() {
 	defer close(a.done)
 	defer a.publish()
@@ -123,6 +125,7 @@ func (a *actor) run() {
 
 // publish computes a fresh snapshot and swaps it in.
 func (a *actor) publish() {
+	//rbsglint:allow hotpathalloc -- one immutable snapshot per snapEvery ops (and once on drain); readers hold the previous pointer, so the atomic swap needs fresh memory
 	s := &BankSnapshot{
 		Bank:        a.bank,
 		Stats:       a.ctrl.Stats(),
@@ -164,9 +167,10 @@ func (a *actor) wearPercentiles() (p50, p90, p99 uint64) {
 		return 0, 0, 0
 	}
 	slices.Sort(sorted)
-	at := func(q float64) uint64 {
-		i := int(q * float64(len(sorted)-1))
-		return uint64(sorted[i])
-	}
-	return at(0.50), at(0.90), at(0.99)
+	return wearAt(sorted, 0.50), wearAt(sorted, 0.90), wearAt(sorted, 0.99)
+}
+
+// wearAt reads the q-quantile of an ascending wear snapshot.
+func wearAt[T ~uint32 | ~uint64](sorted []T, q float64) uint64 {
+	return uint64(sorted[int(q*float64(len(sorted)-1))])
 }

@@ -89,12 +89,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	//rbsglint:allow hotpathalloc -- error/utility responses only; the hot endpoints answer through writeRaw's pooled buffers
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//rbsglint:allow hotpathalloc -- encoder allocation is confined to the error/utility path above
 	json.NewEncoder(w).Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	//rbsglint:allow hotpathalloc -- runs once per rejected request, never on the steady-state path
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -102,6 +105,7 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) submitErr(w http.ResponseWriter, err error) {
 	switch err {
 	case errBusy:
+		//rbsglint:allow hotpathalloc -- backpressure branch only; one header slice per 429
 		w.Header().Set("Retry-After", retryAfter)
 		writeErr(w, http.StatusTooManyRequests, "bank queue full, retry later")
 	case errDraining:
@@ -117,10 +121,12 @@ func (s *Server) submitErr(w http.ResponseWriter, err error) {
 // capacity already present in v, e.g. BatchRequest.Ops).
 func (s *Server) decodeInto(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, v any) bool {
 	buf.Reset()
+	//rbsglint:allow hotpathalloc -- reads into the pooled request buffer; growth amortizes to zero once the pool is warm
 	if _, err := buf.ReadFrom(r.Body); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
+	//rbsglint:allow hotpathalloc -- stdlib Unmarshal is the accepted decode cost; it fills caller-owned slices whose capacity the pooled scratch retains
 	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
@@ -130,6 +136,7 @@ func (s *Server) decodeInto(w http.ResponseWriter, r *http.Request, buf *bytes.B
 
 // writeRaw sends a pre-encoded JSON body.
 func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	//rbsglint:allow hotpathalloc -- one constant Content-Type header slice per response; does not scale with ops
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(body)
@@ -188,6 +195,7 @@ func (s *Server) checkOp(w http.ResponseWriter, line uint64, data uint8) bool {
 	return true
 }
 
+//rbsglint:hotpath
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	sc := opScratchPool.Get().(*opScratch)
 	defer opScratchPool.Put(sc)
@@ -208,6 +216,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	writeRaw(w, http.StatusOK, sc.out)
 }
 
+//rbsglint:hotpath
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	sc := opScratchPool.Get().(*opScratch)
 	defer opScratchPool.Put(sc)
@@ -231,6 +240,8 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 // handleBatch coalesces the request per bank, enqueues every touched
 // bank without blocking, then collects. Banks run concurrently; a full
 // queue rejects only that bank's share (reported via 429 + counts).
+//
+//rbsglint:hotpath
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sc := getBatchScratch(s.cfg.Banks)
 	defer putBatchScratch(sc)
@@ -307,6 +318,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case resp.Applied == 0 && draining:
 		writeErr(w, http.StatusServiceUnavailable, "server draining")
 	case resp.Rejected > 0:
+		//rbsglint:allow hotpathalloc -- backpressure branch only; one header slice per 429
 		w.Header().Set("Retry-After", retryAfter)
 		writeRaw(w, http.StatusTooManyRequests, sc.out)
 	default:

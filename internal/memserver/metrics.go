@@ -59,7 +59,7 @@ func (s *Server) renderMetrics(b *strings.Builder) {
 			func(a *actor, s *BankSnapshot) uint64 { return s.Stats.DeviceWrites }},
 		{"device_reads_total", "Device-level reads (demand + remapping).", "counter",
 			func(a *actor, s *BankSnapshot) uint64 { return s.Stats.DeviceReads }},
-		{"sim_elapsed_ns", "Accumulated simulated device time.", "counter",
+		{"sim_elapsed_ns_total", "Accumulated simulated device time in nanoseconds.", "counter",
 			func(a *actor, s *BankSnapshot) uint64 { return s.Stats.ElapsedNs }},
 		{"failed_lines", "Physical lines worn past endurance.", "gauge",
 			func(a *actor, s *BankSnapshot) uint64 { return s.Stats.FailedLines }},

@@ -107,7 +107,7 @@ func TestBatchMatchesSequential(t *testing.T) {
 	for _, name := range []string{
 		"memctld_demand_writes_total", "memctld_demand_reads_total",
 		"memctld_set_writes_total", "memctld_reset_writes_total",
-		"memctld_remap_events_total", "memctld_sim_elapsed_ns", "memctld_wear_max",
+		"memctld_remap_events_total", "memctld_sim_elapsed_ns_total", "memctld_wear_max",
 	} {
 		if seqM[name] != batM[name] {
 			t.Errorf("%s: sequential %v != batch %v", name, seqM[name], batM[name])

@@ -127,6 +127,8 @@ func (a *Adaptive) NoteWrite(la uint64, m wear.Mover) uint64 {
 
 // onBoundary feeds the rolling detector signal to the controller and
 // actuates its decision.
+//
+//rbsglint:remapboundary
 func (a *Adaptive) onBoundary() {
 	hist := a.ctl.Config().HistoryWindows
 	alarms, _, rate := a.mon.RecentAlarmRate(hist)
@@ -157,6 +159,8 @@ func (a *Adaptive) onBoundary() {
 // never skip past a write that could change the detector signal (and
 // round completions — which the controller must observe — always
 // execute through NoteWrite).
+//
+//rbsglint:hotpath
 func (a *Adaptive) WritesToNextRemap(la uint64) uint64 {
 	rem := a.Scheme.WritesToNextRemap(la)
 	if w := a.mon.WritesToWindowClose(); w < rem {
@@ -168,6 +172,8 @@ func (a *Adaptive) WritesToNextRemap(la uint64) uint64 {
 // SkipWrites books k movement-free, window-close-free writes to la in
 // bulk against both the base scheme and the monitor
 // (k < WritesToNextRemap(la)).
+//
+//rbsglint:hotpath
 func (a *Adaptive) SkipWrites(la, k uint64) {
 	region := a.Intermediate(la) / a.LinesPerRegion()
 	a.Scheme.SkipWrites(la, k)
