@@ -52,7 +52,7 @@ race-sweep:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Re-record the committed benchmark baseline (BENCH_7.json). Run on a
+# Re-record the committed benchmark baseline (BENCH_9.json). Run on a
 # quiet machine; commit the result with an explanation of what moved.
 bench-record:
 	./scripts/bench_record.sh

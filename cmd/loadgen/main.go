@@ -1,7 +1,12 @@
 // Command loadgen is a closed-loop, multi-worker client for memctld:
 // the repo's end-to-end throughput benchmark. Each worker issues
-// batches over /v1/batch and immediately issues the next when the
-// previous completes, so offered load tracks server capacity.
+// batches and immediately issues the next when the previous completes,
+// so offered load tracks server capacity.
+//
+// Transports (-proto): json drives POST /v1/batch; binary drives the
+// binary batch protocol (memctld -binary-addr), one framed TCP
+// connection per worker. Health checks and metrics always go over
+// HTTP — the binary listener is data-plane only.
 //
 // Streams (-pattern):
 //
@@ -26,6 +31,7 @@
 //
 //	loadgen -addr http://127.0.0.1:8100 -workers 8 -duration 5s
 //	loadgen -pattern attack -duration 2s
+//	loadgen -proto binary -binary-addr 127.0.0.1:8101 -duration 5s
 package main
 
 import (
@@ -42,7 +48,9 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8100", "memctld base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8100", "memctld base URL (control plane, and the json data plane)")
+	proto := flag.String("proto", "json", "data-plane transport: json|binary")
+	binAddr := flag.String("binary-addr", "127.0.0.1:8101", "memctld binary listener host:port (-proto binary)")
 	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	batch := flag.Int("batch", 256, "lines per /v1/batch request")
@@ -53,6 +61,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "address-stream seed")
 	flag.Parse()
 
+	if *proto != "json" && *proto != "binary" {
+		fatal(fmt.Errorf("unknown proto %q (json|binary)", *proto))
+	}
 	client := memserver.NewClient(*addr)
 	if err := client.Healthz(); err != nil {
 		fatal(fmt.Errorf("server not healthy: %w", err))
@@ -83,8 +94,9 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runWorker(*addr, workerConfig{
-				id: w, lines: lines, batch: *batch,
+			results[w] = runWorker(workerConfig{
+				id: w, addr: *addr, proto: *proto, binAddr: *binAddr,
+				lines: lines, batch: *batch,
 				pattern: *pattern, readShare: *readShare,
 				zipfS: *zipfS, ramp: *ramp, seed: *seed + uint64(w)*7919,
 			}, deadline)
@@ -102,8 +114,8 @@ func main() {
 		total.latencies = append(total.latencies, r.latencies...)
 	}
 	opsPerSec := float64(total.ops) / elapsed.Seconds()
-	fmt.Printf("loadgen: pattern=%s workers=%d batch=%d duration=%v\n",
-		*pattern, *workers, *batch, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: pattern=%s proto=%s workers=%d batch=%d duration=%v\n",
+		*pattern, *proto, *workers, *batch, elapsed.Round(time.Millisecond))
 	fmt.Printf("sustained: %.0f line-ops/s (%d ops in %d batches, %d rejected by backpressure)\n",
 		opsPerSec, total.ops, total.batches, total.rejected)
 	printLatency(total.latencies)
@@ -171,6 +183,9 @@ func (w *escalationWatcher) wait() (time.Duration, float64, bool) {
 
 type workerConfig struct {
 	id        int
+	addr      string
+	proto     string
+	binAddr   string
 	lines     uint64
 	batch     int
 	pattern   string
@@ -178,6 +193,11 @@ type workerConfig struct {
 	zipfS     float64
 	ramp      uint64
 	seed      uint64
+}
+
+// batcher is the data-plane half either transport client satisfies.
+type batcher interface {
+	Batch(ops []memserver.BatchOp) (*memserver.BatchResponse, error)
 }
 
 type workerResult struct {
@@ -188,9 +208,21 @@ type workerResult struct {
 }
 
 // runWorker is one closed loop: build a batch from the address stream,
-// POST it, record wall latency, repeat until the deadline.
-func runWorker(addr string, cfg workerConfig, deadline time.Time) workerResult {
-	client := memserver.NewClient(addr)
+// send it, record wall latency, repeat until the deadline. Each worker
+// owns its transport — an HTTP connection for json, a framed TCP
+// connection for binary.
+func runWorker(cfg workerConfig, deadline time.Time) workerResult {
+	var client batcher
+	if cfg.proto == "binary" {
+		bc, err := memserver.DialBinary(cfg.binAddr)
+		if err != nil {
+			fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
+		}
+		defer bc.Close()
+		client = bc
+	} else {
+		client = memserver.NewClient(cfg.addr)
+	}
 	rng := stats.NewRNG(cfg.seed)
 	var next func() uint64
 	content := uint8(2) // MIXED: ordinary data pays SET latency

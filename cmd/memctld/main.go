@@ -5,13 +5,19 @@
 //
 // Endpoints: POST /v1/write, /v1/read, /v1/batch; GET /healthz,
 // /metrics (Prometheus text). Full queues answer 429 + Retry-After.
-// SIGINT/SIGTERM drains gracefully: the listener stops, queued
+// SIGINT/SIGTERM drains gracefully: the listeners stop, queued
 // requests finish, final per-bank telemetry is printed.
+//
+// With -binary-addr set, the daemon additionally serves the binary
+// batch protocol (length-prefixed frames, see internal/memserver
+// wire.go) on a second TCP listener — the hot data path without JSON
+// framing. The control plane (/healthz, /metrics) stays HTTP-only.
 //
 // Usage:
 //
 //	memctld -addr 127.0.0.1:8100 -banks 8 -lines $((1<<20))
 //	memctld -addr 127.0.0.1:0 -addr-file /tmp/addr   # scripted runs
+//	memctld -binary-addr 127.0.0.1:8101              # binary data plane
 package main
 
 import (
@@ -34,6 +40,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8100", "listen address (port 0 picks a free port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file (for scripts)")
+	binAddr := flag.String("binary-addr", "", "serve the binary batch protocol on this address (empty = JSON only)")
+	binAddrFile := flag.String("binary-addr-file", "", "write the bound binary address to this file (for scripts)")
 	banks := flag.Int("banks", 8, "number of independently wear-leveled banks")
 	lines := flag.Uint64("lines", 1<<20, "total logical lines (lines/banks must be a power of two)")
 	scheme := flag.String("scheme", memserver.SchemeRBSGDetector, "none|rbsg|rbsg+detector|srbsg|srbsg+adaptive")
@@ -111,6 +119,26 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
+	binary := false
+	if *binAddr != "" {
+		bln, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fatal(fmt.Errorf("binary listen: %w", err))
+		}
+		if *binAddrFile != "" {
+			if err := os.WriteFile(*binAddrFile, []byte(bln.Addr().String()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "memctld: binary protocol on %s\n", bln.Addr())
+		go func() {
+			if err := srv.ServeBinary(bln); err != nil {
+				errc <- fmt.Errorf("binary serve: %w", err)
+			}
+		}()
+		binary = true
+	}
+
 	cfg := srv.Config()
 	fmt.Fprintf(os.Stderr, "memctld: listening on %s — %d banks × %d lines, scheme %s (regions %d, interval %d)\n",
 		bound, cfg.Banks, cfg.Lines/uint64(cfg.Banks), cfg.Scheme, cfg.Regions, cfg.Interval)
@@ -124,10 +152,18 @@ func main() {
 		fatal(err)
 	}
 
+	// Drain order: stop both listeners first (in-flight requests and
+	// frames finish against still-running actors), then close the bank
+	// queues and wait them out.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("http shutdown: %w", err))
+	}
+	if binary {
+		if err := srv.ShutdownBinary(ctx); err != nil {
+			fatal(err)
+		}
 	}
 	if err := srv.Drain(ctx); err != nil {
 		fatal(err)

@@ -27,7 +27,7 @@ func Constructs(v uint64, s string) {
 	_ = raw
 	f := func() {} // want `hot path: function literal allocates`
 	_ = f
-	go spin() // want `hot path: go statement allocates`
+	go spin()      // want `hot path: go statement allocates`
 	fmt.Println(v) // want `hot path: calls fmt.Println, which is not on the alloc-free safe list`
 }
 

@@ -4,7 +4,8 @@
 // emitted twice. The check is deliberately repo-shaped: it looks at
 // the memserver package's declarative metric table (entries of a
 // struct with name/help/kind fields) and at calls to the local gauge()
-// render helper, which together define everything /metrics exposes.
+// and counter() render helpers, which together define everything
+// /metrics exposes.
 //
 // The dashboards and the tournament harness join series by name, so a
 // rename or a convention slip is an observable break even though no Go
@@ -53,9 +54,10 @@ func run(pass *analysis.Pass) error {
 				}
 				return false // entries handled; don't re-visit as bare literals
 			case *ast.CallExpr:
-				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "gauge" && len(n.Args) >= 2 {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) >= 2 &&
+					(id.Name == "gauge" || id.Name == "counter") {
 					if name, ok := constString(pass, n.Args[0]); ok {
-						checkName(pass, n.Args[0].Pos(), name, "gauge", seen)
+						checkName(pass, n.Args[0].Pos(), name, id.Name, seen)
 					}
 				}
 			}

@@ -1,5 +1,5 @@
-// Package memserver mirrors the real exporter's shapes: a gauge()
-// render helper plus a declarative metric table.
+// Package memserver mirrors the real exporter's shapes: gauge() and
+// counter() render helpers plus a declarative metric table.
 package memserver
 
 type BankSnapshot struct {
@@ -13,6 +13,11 @@ func render() {
 	gauge := func(name, help string, v uint64) {}
 	gauge("banks", "Bank count.", 4)
 	gauge("live_total", "Mislabeled gauge.", 1) // want `gauge "live_total" must not end in _total`
+
+	counter := func(name, help string, v uint64) {}
+	counter("binary_frames_total", "Frames.", 7)
+	counter("binary_rejects", "Mislabeled counter.", 1)  // want `counter "binary_rejects" must end in _total`
+	counter("binary_frames_total", "Duplicate call.", 8) // want `duplicate metric name "binary_frames_total"`
 
 	type metric struct {
 		name, help, kind string

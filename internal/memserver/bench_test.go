@@ -88,6 +88,72 @@ func BenchmarkMemserverBatchWriteAdaptive(b *testing.B) {
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
 }
 
+// BenchmarkBinaryBatchWrite is the binary-protocol counterpart of
+// BenchmarkMemserverBatchWrite: the same banks, the same 256-op batch
+// shape, but frames through processFrame — the whole binary hot path
+// minus socket I/O, exactly as the JSON bench skips sockets by calling
+// the handler. The bench gate holds this to ≥3× the JSON path's
+// lines/s: if framing ever grows JSON-shaped overhead, the gate sees
+// it.
+func BenchmarkBinaryBatchWrite(b *testing.B) {
+	const batch = 256
+	s := MustNew(Config{
+		Banks: 8, Lines: 8 << 14, Scheme: SchemeRBSGDetector,
+		Regions: 32, Interval: 100, Seed: 1, QueueDepth: 256,
+	})
+	s.Start()
+
+	rng := stats.NewRNG(3)
+	ops := make([]BatchOp, batch)
+	for i := range ops {
+		ops[i] = BatchOp{Line: rng.Uint64n(s.Config().Lines), Data: 2}
+	}
+	body := appendBatchReqBody(nil, wireVersion, ops)
+	sc := &connScratch{batch: getBatchScratch(s.cfg.Banks)}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, fatal := s.processFrame(sc, body)
+		if fatal || len(out) < 4+wireHdrSize || out[4+1] != frameBatchResp {
+			b.Fatalf("frame %d: fatal=%v out=% x", i, fatal, out[:min(len(out), 8)])
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
+}
+
+// BenchmarkBinaryDecodeFrame isolates the wire decode: one 256-op
+// frame body into the pooled op scratch. The gate pins its allocs/op
+// at zero — the decode path must stay alloc-free or the protocol has
+// lost its reason to exist.
+func BenchmarkBinaryDecodeFrame(b *testing.B) {
+	const batch = 256
+	rng := stats.NewRNG(3)
+	ops := make([]BatchOp, batch)
+	for i := range ops {
+		ops[i] = BatchOp{Line: rng.Uint64n(8 << 14), Data: 2}
+		if i%5 == 0 {
+			ops[i].Read = true
+			ops[i].Data = 0
+		}
+	}
+	payload := appendBatchReqBody(nil, wireVersion, ops)[wireHdrSize:]
+	dst := make([]BatchOp, 0, batch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decoded, code := decodeBatchReq(payload, dst)
+		if code != 0 || len(decoded) != batch {
+			b.Fatalf("decode: code %d, %d ops", code, len(decoded))
+		}
+		dst = decoded
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
+}
+
 // BenchmarkMemserverSingleWrite is the uncoalesced per-request cost:
 // one line per HTTP round trip through the handler.
 func BenchmarkMemserverSingleWrite(b *testing.B) {

@@ -1,0 +1,64 @@
+package memserver
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryFrameDecode throws arbitrary frame bodies at the server's
+// frame processor: it must never panic, never read past the body, and
+// must hold the round-trip property — any BatchReq payload the strict
+// decoder accepts re-encodes to the identical bytes (there is exactly
+// one wire form per batch, so nothing an attacker appends, pads, or
+// re-flags survives decode unnoticed).
+func FuzzBinaryFrameDecode(f *testing.F) {
+	// Seed corpus: the shapes the protocol defines, plus each reject
+	// class the tests pin — truncated, version-skewed, wrong-typed,
+	// count-mismatched, flag-corrupted, oversized-count bodies.
+	valid := appendBatchReqBody(nil, wireVersion, []BatchOp{
+		{Line: 1}, {Line: 4095, Read: true}, {Line: 7, Data: 2},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                                         // truncated mid-op
+	f.Add([]byte{})                                                     // empty body
+	f.Add([]byte{wireVersion})                                          // no type byte
+	f.Add([]byte{wireVersion + 1, frameBatchReq})                       // version skew
+	f.Add([]byte{wireVersion, frameErr})                                // wrong direction
+	f.Add([]byte{wireVersion, 0xff, 1, 2, 3})                           // unknown type
+	f.Add(appendBatchReqBody(nil, wireVersion, nil))                    // zero ops
+	count := []byte{wireVersion, frameBatchReq, 0xff, 0xff, 0xff, 0xff} // 4G ops, no payload
+	f.Add(count)
+	flag := appendBatchReqBody(nil, wireVersion, []BatchOp{{Line: 9}})
+	flag[len(flag)-2] = 0x80 // flags outside {0,1}
+	f.Add(flag)
+
+	s := MustNew(Config{
+		Banks: 2, Lines: 2048, Scheme: SchemeNone,
+		QueueDepth: 16, SnapshotEvery: 1,
+	})
+	s.Start()
+	sc := &connScratch{batch: getBatchScratch(s.cfg.Banks)}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		// The frame processor on the raw body: must not panic and must
+		// always answer (every frame gets a response frame, even the
+		// ones that cost the connection).
+		out, _ := s.processFrame(sc, body)
+		if len(out) < 4+wireHdrSize {
+			t.Fatalf("processFrame returned %d-byte frame, below prefix+header", len(out))
+		}
+
+		// Round-trip property on the strict decoder: accepted payloads
+		// re-encode byte-identically.
+		if len(body) >= wireHdrSize && body[0] == wireVersion && body[1] == frameBatchReq {
+			payload := body[wireHdrSize:]
+			ops, code := decodeBatchReq(payload, nil)
+			if code == 0 {
+				re := appendBatchReqBody(nil, wireVersion, ops)
+				if !bytes.Equal(re[wireHdrSize:], payload) {
+					t.Fatalf("accepted payload is not canonical:\n in % x\nout % x", payload, re[wireHdrSize:])
+				}
+			}
+		}
+	})
+}

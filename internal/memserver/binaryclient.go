@@ -1,0 +1,165 @@
+package memserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"securityrbsg/internal/pcm"
+)
+
+// BinaryClient speaks the binary wire protocol (wire.go) over one TCP
+// connection. Like the HTTP Client, its Write and Read methods satisfy
+// attack.Target — logical address in, simulated latency out — so every
+// attacker in internal/attack runs unmodified over the binary
+// transport; that is what the binary-transport RTA regression drives.
+//
+// A BinaryClient is not safe for concurrent use: it owns one
+// connection and reuses its encode/decode buffers and its response
+// struct across calls (Batch's result is valid until the next call).
+// loadgen gives each worker its own client, mirroring how each worker
+// owns an HTTP connection in the JSON path.
+type BinaryClient struct {
+	conn net.Conn
+	// Version overrides the wire version byte on outgoing frames; zero
+	// means the current protocol version. Tests use it to probe how
+	// servers answer version skew.
+	Version uint8
+
+	hdr  [4]byte
+	buf  []byte
+	op   [1]BatchOp
+	resp BatchResponse
+}
+
+// DialBinary connects to a memctld binary listener (host:port).
+func DialBinary(addr string) (*BinaryClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("binary dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // closed-loop batches must not wait out Nagle
+	}
+	return &BinaryClient{conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (c *BinaryClient) Close() error { return c.conn.Close() }
+
+// version resolves the wire version to send.
+func (c *BinaryClient) version() uint8 {
+	if c.Version != 0 {
+		return c.Version
+	}
+	return wireVersion
+}
+
+// Batch sends one batch frame and decodes the answer. On a Nack frame
+// it returns a *BackpressureError carrying the retry-after and the
+// partial accounting, mirroring the JSON client's 429 handling; on an
+// Err frame it returns the typed *WireError. The returned response is
+// the client's own buffer, valid until the next call.
+func (c *BinaryClient) Batch(ops []BatchOp) (*BatchResponse, error) {
+	// Compose the body after a 4-byte hole, then fill the length prefix:
+	// one buffer, one conn.Write, no staging copy.
+	if cap(c.buf) < 4 {
+		c.buf = make([]byte, 4)
+	}
+	c.buf = appendBatchReqBody(c.buf[:4], c.version(), ops)
+	binary.LittleEndian.PutUint32(c.buf[:4], uint32(len(c.buf)-4))
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return nil, fmt.Errorf("binary write: %w", err)
+	}
+	body, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < wireHdrSize {
+		return nil, fmt.Errorf("binary response body %d bytes, below header size", len(body))
+	}
+	if body[0] != wireVersion {
+		return nil, fmt.Errorf("binary response version %d, client speaks %d", body[0], wireVersion)
+	}
+	switch body[1] {
+	case frameBatchResp:
+		if code := decodeBatchRespPayload(body[wireHdrSize:], &c.resp); code != 0 {
+			return nil, fmt.Errorf("binary response payload failed decode (code %d)", code)
+		}
+		return &c.resp, nil
+	case frameNack:
+		payload := body[wireHdrSize:]
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("binary nack payload %d bytes, below retry-after field", len(payload))
+		}
+		be := &BackpressureError{
+			RetryAfter: time.Duration(binary.LittleEndian.Uint32(payload)) * time.Second,
+		}
+		if decodeBatchRespPayload(payload[4:], &c.resp) == 0 {
+			be.Resp = &c.resp
+		}
+		return nil, be
+	case frameErr:
+		we, ok := decodeErrBody(body[wireHdrSize:])
+		if !ok {
+			return nil, fmt.Errorf("binary err frame payload failed decode")
+		}
+		return nil, we
+	default:
+		return nil, fmt.Errorf("binary response frame type %d unknown", body[1])
+	}
+}
+
+// readFrame reads one length-prefixed frame body into the client's
+// buffer.
+func (c *BinaryClient) readFrame() ([]byte, error) {
+	if err := readFull(c.conn, c.hdr[:]); err != nil {
+		return nil, fmt.Errorf("binary read header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(c.hdr[:])
+	if n > wireMaxBody {
+		return nil, fmt.Errorf("binary response body %d bytes over limit %d", n, wireMaxBody)
+	}
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	c.buf = c.buf[:n]
+	if err := readFull(c.conn, c.buf); err != nil {
+		return nil, fmt.Errorf("binary read body: %w", err)
+	}
+	return c.buf, nil
+}
+
+// retryBatch is Batch with bounded backpressure retries — demand ops
+// must not be silently dropped (an attacker's write stream, like a
+// CPU's, just stalls until the controller accepts it).
+func (c *BinaryClient) retryBatch(ops []BatchOp) *BatchResponse {
+	for {
+		resp, err := c.Batch(ops)
+		if err == nil {
+			return resp
+		}
+		be, ok := err.(*BackpressureError)
+		if !ok {
+			panic(fmt.Errorf("memserver binary client: batch: %w", err)) //rbsglint:allow panicpolicy -- documented attack.Target contract: a broken server is fatal in the tests/demos this client exists for
+		}
+		time.Sleep(be.RetryAfter)
+	}
+}
+
+// Write issues one demand write and returns the simulated latency in
+// nanoseconds. It panics on transport errors: it exists to satisfy
+// attack.Target for tests and demos, where a broken server is fatal.
+func (c *BinaryClient) Write(la uint64, content pcm.Content) uint64 {
+	c.op[0] = BatchOp{Line: la, Data: uint8(content)}
+	resp := c.retryBatch(c.op[:1])
+	return resp.Ns[0]
+}
+
+// Read issues one demand read; same contract as Write.
+func (c *BinaryClient) Read(la uint64) (pcm.Content, uint64) {
+	c.op[0] = BatchOp{Line: la, Read: true}
+	resp := c.retryBatch(c.op[:1])
+	return pcm.Content(resp.Data[0]), resp.Ns[0]
+}

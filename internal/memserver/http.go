@@ -212,6 +212,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	}
 	ns := rb.res[0].ns
 	putResBuf(rb)
+	s.jsonLineOps.Add(1)
 	sc.out = appendWriteResponse(sc.out[:0], ns)
 	writeRaw(w, http.StatusOK, sc.out)
 }
@@ -233,6 +234,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	ns, data := rb.res[0].ns, uint8(rb.res[0].content)
 	putResBuf(rb)
+	s.jsonLineOps.Add(1)
 	sc.out = appendReadResponse(sc.out[:0], ns, data)
 	writeRaw(w, http.StatusOK, sc.out)
 }
@@ -245,7 +247,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	sc := getBatchScratch(s.cfg.Banks)
 	defer putBatchScratch(sc)
-	sc.req.Ops = sc.req.Ops[:0]
+	resetBatchOps(sc)
 	if !s.decodeInto(w, r, &sc.body, &sc.req) {
 		return
 	}
@@ -260,9 +262,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Coalesce: one op run per touched bank, preserving request order.
-	// Runs live in the scratch (indexed by bank); `order` records which
-	// banks this request touched, in first-touch order.
+	draining := s.executeBatch(sc)
+	resp := &sc.resp
+	s.jsonLineOps.Add(uint64(resp.Applied))
+	sc.out = appendBatchResponse(sc.out[:0], resp)
+	switch {
+	case resp.Applied == 0 && draining:
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+	case resp.Rejected > 0:
+		//rbsglint:allow hotpathalloc -- backpressure branch only; one header slice per 429
+		w.Header().Set("Retry-After", retryAfter)
+		writeRaw(w, http.StatusTooManyRequests, sc.out)
+	default:
+		writeRaw(w, http.StatusOK, sc.out)
+	}
+}
+
+// executeBatch is the transport-independent batch engine: coalesce the
+// already-validated ops in sc.req.Ops into one run per touched bank
+// (preserving request order), enqueue every run without blocking, then
+// collect into sc.resp, whose Ns/Data align with the ops (rejected ops
+// report zero). Both the JSON handler and the binary frame processor
+// call it, so the banks — and the timing signal they emit — cannot
+// tell the protocols apart. It reports whether a drain caused any of
+// the rejections.
+//
+//rbsglint:hotpath
+func (s *Server) executeBatch(sc *batchScratch) (draining bool) {
+	ops := sc.req.Ops
 	for i, o := range ops {
 		bank, local := s.mem.Route(o.Line)
 		run := &sc.runs[bank]
@@ -279,7 +306,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp.Applied, resp.Rejected, resp.NsSum, resp.NsMax = 0, 0, 0, 0
 	resp.Ns = resizeZeroed(resp.Ns, len(ops))
 	resp.Data = resizeZeroed(resp.Data, len(ops))
-	draining := false
 	for _, b := range sc.order {
 		run := &sc.runs[b]
 		reply, err := s.enqueue(run.bank, run.ops)
@@ -312,18 +338,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Applied += len(rb.res)
 		putResBuf(rb)
 	}
+	return draining
+}
 
-	sc.out = appendBatchResponse(sc.out[:0], resp)
-	switch {
-	case resp.Applied == 0 && draining:
-		writeErr(w, http.StatusServiceUnavailable, "server draining")
-	case resp.Rejected > 0:
-		//rbsglint:allow hotpathalloc -- backpressure branch only; one header slice per 429
-		w.Header().Set("Retry-After", retryAfter)
-		writeRaw(w, http.StatusTooManyRequests, sc.out)
-	default:
-		writeRaw(w, http.StatusOK, sc.out)
-	}
+// resetBatchOps prepares sc.req.Ops for a JSON decode: length zero and
+// the whole reusable backing array zeroed. json.Unmarshal writes only
+// the fields present in the payload, so without the clear an op whose
+// omitempty fields were omitted (e.g. {"l":42}, a RESET write) would
+// inherit Read/Data from whatever request last used this pooled
+// scratch. The binary path needs no such guard: decodeBatchReq writes
+// every field of every op.
+//
+//rbsglint:hotpath
+func resetBatchOps(sc *batchScratch) {
+	ops := sc.req.Ops[:cap(sc.req.Ops)]
+	clear(ops)
+	sc.req.Ops = ops[:0]
 }
 
 // resizeZeroed returns s with length n and every element zeroed

@@ -137,6 +137,14 @@ type Server struct {
 	adaptives []*seclevel.Adaptive     // nil entries when the scheme has no level controller
 	draining  atomic.Bool
 	started   atomic.Bool
+
+	// Binary-protocol state (binary.go) and the per-protocol serving
+	// counters /metrics splits by transport.
+	bin         binaryState
+	binFrames   atomic.Uint64 // frames processed on the binary listener
+	binRejects  atomic.Uint64 // frames rejected before execution (malformed, skewed, oversized, bad op)
+	binLineOps  atomic.Uint64 // line ops applied via the binary protocol
+	jsonLineOps atomic.Uint64 // line ops applied via the JSON HTTP API
 }
 
 // New builds a server (actors not yet running; call Start).

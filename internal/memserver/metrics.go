@@ -30,6 +30,10 @@ func (s *Server) renderMetrics(b *strings.Builder) {
 		fmt.Fprintf(b, "# HELP memctld_%s %s\n# TYPE memctld_%s gauge\nmemctld_%s %d\n",
 			name, help, name, name, v)
 	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(b, "# HELP memctld_%s %s\n# TYPE memctld_%s counter\nmemctld_%s %d\n",
+			name, help, name, name, v)
+	}
 	gauge("banks", "Number of independently wear-leveled banks.", uint64(s.cfg.Banks))
 	gauge("lines", "Total logical line count across banks.", s.cfg.Lines)
 	draining := uint64(0)
@@ -37,6 +41,14 @@ func (s *Server) renderMetrics(b *strings.Builder) {
 		draining = 1
 	}
 	gauge("draining", "1 while the server drains, else 0.", draining)
+
+	// Per-protocol serving counters: the binary listener's frame and
+	// reject totals, and the line ops applied through each transport
+	// (their sum tracks demand_writes_total + demand_reads_total).
+	counter("binary_frames_total", "Frames processed on the binary listener.", s.binFrames.Load())
+	counter("binary_reject_total", "Binary frames rejected before execution (malformed, version-skewed, oversized, or bad op).", s.binRejects.Load())
+	counter("binary_line_ops_total", "Line ops applied via the binary protocol.", s.binLineOps.Load())
+	counter("json_line_ops_total", "Line ops applied via the JSON HTTP API.", s.jsonLineOps.Load())
 
 	type metric struct {
 		name, help, kind string

@@ -86,10 +86,13 @@ func getBatchScratch(banks int) *batchScratch {
 	return sc
 }
 
-// putBatchScratch resets the runs touched by this request and recycles
-// the scratch. Oversized one-off requests are dropped instead of pinning
-// megabytes in the pool.
-func putBatchScratch(sc *batchScratch) {
+// resetRuns clears the per-bank runs touched by the last batch so the
+// scratch can host another one. The JSON path does this once per
+// request on the way back to the pool; the binary connection loop does
+// it per frame, since one scratch lives as long as its connection.
+//
+//rbsglint:hotpath
+func resetRuns(sc *batchScratch) {
 	for _, b := range sc.order {
 		run := &sc.runs[b]
 		run.ops = run.ops[:0]
@@ -97,6 +100,13 @@ func putBatchScratch(sc *batchScratch) {
 		run.reply = nil
 	}
 	sc.order = sc.order[:0]
+}
+
+// putBatchScratch resets the runs touched by this request and recycles
+// the scratch. Oversized one-off requests are dropped instead of pinning
+// megabytes in the pool.
+func putBatchScratch(sc *batchScratch) {
+	resetRuns(sc)
 	if sc.body.Cap() > 1<<20 || cap(sc.resp.Ns) > 1<<16 {
 		return
 	}

@@ -1,0 +1,246 @@
+package memserver
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The binary wire protocol: the hot serving path without JSON framing.
+//
+// Every frame is length-prefixed and little-endian:
+//
+//	frame := u32 bodyLen | body                    (bodyLen = len(body))
+//	body  := u8 version | u8 type | payload
+//
+// Payloads by frame type:
+//
+//	BatchReq  := u32 count | count × (u64 line | u8 flags | u8 content)
+//	BatchResp := u32 applied | u32 rejected | u64 nsSum | u64 nsMax |
+//	             u32 count | count × (u64 ns | u8 data)
+//	Nack      := u32 retryAfterSecs | <BatchResp payload>
+//	Err       := u16 code | u16 msgLen | msg bytes
+//
+// Versioning rules: the u32 length prefix and the leading version byte
+// never change meaning — they are the layer a server of any version can
+// parse, which is what lets a version-skewed frame be answered with a
+// typed Err frame instead of a connection drop (the server skips the
+// length-delimited body it cannot interpret and stays in sync).
+// Everything after the version byte is owned by that version; new op
+// kinds or fields mean a new version value, never a silent re-reading
+// of v1 bytes.
+//
+// Op records are fixed width (wireOpSize bytes), so the decoder indexes
+// the request payload directly — no reflection, no per-op allocation —
+// and the count is cross-checked against the payload length before any
+// op is read: a frame whose count disagrees with its byte length is
+// rejected whole.
+//
+// The timing side channel crosses this wire exactly as it crosses the
+// JSON API: per-op simulated latencies travel in the response payload
+// uncompressed and unaggregated, so the remap-latency signal the
+// paper's RTA reads is serialization-independent (the binary attack
+// regression test pins this).
+
+const (
+	// wireVersion is the protocol version this build speaks.
+	wireVersion = 1
+
+	// wireMaxBody bounds one frame body. A length prefix above this is
+	// a hard reject: the server answers with an Err frame and closes
+	// the connection, since it will not stream-skip an attacker-sized
+	// body to stay in sync.
+	wireMaxBody = 1 << 20
+
+	// wireMaxOps bounds the ops in one batch frame (it is what
+	// wireMaxBody admits, stated in ops).
+	wireMaxOps = (wireMaxBody - wireHdrSize - 4) / wireOpSize
+
+	// wireHdrSize is the body prelude: version byte + type byte.
+	wireHdrSize = 2
+
+	// wireOpSize is one fixed-width op record: u64 line, u8 flags
+	// (bit 0 = read), u8 content class.
+	wireOpSize = 10
+
+	// wireResSize is one fixed-width result record: u64 ns, u8 data.
+	wireResSize = 9
+)
+
+// Frame types.
+const (
+	frameBatchReq  = 0x01 // client → server: a batch of ops
+	frameBatchResp = 0x02 // server → client: per-op latencies + accounting
+	frameNack      = 0x03 // server → client: backpressure (429 + Retry-After equivalent)
+	frameErr       = 0x04 // server → client: typed error
+)
+
+// Err frame codes. The name table keeps client-surfaced errors
+// listable: an unknown code still renders, a known one names itself.
+const (
+	wireErrVersion   = 0x01 // frame version not spoken by this server
+	wireErrMalformed = 0x02 // frame failed structural decode
+	wireErrTooLarge  = 0x03 // length prefix above wireMaxBody (connection closes)
+	wireErrBadOp     = 0x04 // op failed semantic validation (line range / content class)
+	wireErrDraining  = 0x05 // server is draining; no more work accepted
+	wireErrEmpty     = 0x06 // batch carried zero ops
+)
+
+// wireErrName maps Err codes to stable names (client error listings).
+var wireErrName = map[uint16]string{
+	wireErrVersion:   "unsupported-version",
+	wireErrMalformed: "malformed-frame",
+	wireErrTooLarge:  "frame-too-large",
+	wireErrBadOp:     "bad-op",
+	wireErrDraining:  "draining",
+	wireErrEmpty:     "empty-batch",
+}
+
+// WireError is an Err frame surfaced by the binary client. It is a
+// typed, listable error: Code names the failure class (String form in
+// the message), Msg carries the server's detail line.
+type WireError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *WireError) Error() string {
+	name := wireErrName[e.Code]
+	if name == "" {
+		name = fmt.Sprintf("code-%d", e.Code)
+	}
+	known := "known codes:"
+	for c := uint16(1); c <= wireErrEmpty; c++ {
+		if n, ok := wireErrName[c]; ok {
+			known += " " + n
+		}
+	}
+	return fmt.Sprintf("binary wire error %s: %s (%s)", name, e.Msg, known)
+}
+
+// appendFrame wraps a finished body with its length prefix. The body
+// must already start with the version and type bytes.
+func appendFrame(b, body []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(body)))
+	return append(b, body...)
+}
+
+// appendBatchReqBody appends the body (version|type|payload) of a batch
+// request for ops. The caller frames it with appendFrame or by
+// reserving the prefix itself.
+func appendBatchReqBody(b []byte, version uint8, ops []BatchOp) []byte {
+	b = append(b, version, frameBatchReq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
+	for _, o := range ops {
+		b = binary.LittleEndian.AppendUint64(b, o.Line)
+		var flags uint8
+		if o.Read {
+			flags = 1
+		}
+		b = append(b, flags, o.Data)
+	}
+	return b
+}
+
+// decodeBatchReq parses a BatchReq payload into ops (appended to
+// ops[:0], capacity reused). It is the zero-copy hot decode: fixed
+// offsets into payload, no reads past len(payload), and nothing
+// allocated on any reject path (the returned code is the entire error).
+//
+//rbsglint:hotpath
+func decodeBatchReq(payload []byte, ops []BatchOp) ([]BatchOp, uint16) {
+	ops = ops[:0]
+	if len(payload) < 4 {
+		return ops, wireErrMalformed
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	if count == 0 {
+		return ops, wireErrEmpty
+	}
+	if uint64(count) > wireMaxOps {
+		return ops, wireErrMalformed
+	}
+	rest := payload[4:]
+	if uint64(len(rest)) != uint64(count)*wireOpSize {
+		return ops, wireErrMalformed
+	}
+	for off := 0; off < len(rest); off += wireOpSize {
+		rec := rest[off : off+wireOpSize]
+		flags := rec[8]
+		if flags > 1 {
+			return ops[:0], wireErrMalformed
+		}
+		ops = append(ops, BatchOp{
+			Line: binary.LittleEndian.Uint64(rec),
+			Read: flags == 1,
+			Data: rec[9],
+		})
+	}
+	return ops, 0
+}
+
+// appendBatchRespPayload appends the BatchResp payload for r. Per-op
+// latencies travel verbatim: this is the serialization the timing side
+// channel crosses.
+//
+//rbsglint:hotpath
+func appendBatchRespPayload(b []byte, r *BatchResponse) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Applied))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Rejected))
+	b = binary.LittleEndian.AppendUint64(b, r.NsSum)
+	b = binary.LittleEndian.AppendUint64(b, r.NsMax)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Ns)))
+	for i, ns := range r.Ns {
+		b = binary.LittleEndian.AppendUint64(b, ns)
+		b = append(b, r.Data[i])
+	}
+	return b
+}
+
+// decodeBatchRespPayload parses a BatchResp (or the tail of a Nack)
+// payload into r, reusing r's slice capacity.
+func decodeBatchRespPayload(payload []byte, r *BatchResponse) uint16 {
+	if len(payload) < 28 {
+		return wireErrMalformed
+	}
+	r.Applied = int(binary.LittleEndian.Uint32(payload))
+	r.Rejected = int(binary.LittleEndian.Uint32(payload[4:]))
+	r.NsSum = binary.LittleEndian.Uint64(payload[8:])
+	r.NsMax = binary.LittleEndian.Uint64(payload[16:])
+	count := binary.LittleEndian.Uint32(payload[24:])
+	rest := payload[28:]
+	if uint64(len(rest)) != uint64(count)*wireResSize {
+		return wireErrMalformed
+	}
+	r.Ns = resizeZeroed(r.Ns, int(count))
+	r.Data = resizeZeroed(r.Data, int(count))
+	for i := 0; i < int(count); i++ {
+		rec := rest[i*wireResSize:]
+		r.Ns[i] = binary.LittleEndian.Uint64(rec)
+		r.Data[i] = rec[8]
+	}
+	return 0
+}
+
+// appendErrBody appends a complete Err frame body. Messages are static
+// strings chosen by code so the reject path composes nothing.
+//
+//rbsglint:hotpath
+func appendErrBody(b []byte, code uint16, msg string) []byte {
+	b = append(b, wireVersion, frameErr)
+	b = binary.LittleEndian.AppendUint16(b, code)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// decodeErrBody parses an Err frame payload.
+func decodeErrBody(payload []byte) (*WireError, bool) {
+	if len(payload) < 4 {
+		return nil, false
+	}
+	code := binary.LittleEndian.Uint16(payload)
+	n := int(binary.LittleEndian.Uint16(payload[2:]))
+	if len(payload) < 4+n {
+		return nil, false
+	}
+	return &WireError{Code: code, Msg: string(payload[4 : 4+n])}, true
+}

@@ -6,7 +6,7 @@
 # Overrides (documented in DESIGN.md "Performance engineering"):
 #   BENCHGATE_SKIP=1            skip the gate (e.g. known-noisy runner)
 #   BENCHGATE_MAX_REGRESS=0.30  widen the ns/op threshold
-#   BENCH_BASELINE=BENCH_7.json compare against a different baseline
+#   BENCH_BASELINE=BENCH_9.json compare against a different baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,15 +15,17 @@ if [ "${BENCHGATE_SKIP:-0}" = "1" ]; then
     exit 0
 fi
 
-baseline="${BENCH_BASELINE:-BENCH_7.json}"
+baseline="${BENCH_BASELINE:-BENCH_9.json}"
 # The designated guards (see bench_test.go and
 # internal/memserver/bench_test.go "perf-gate guard benchmarks"): pure
 # mapping kernel, both per-access paths, the end-to-end Monte-Carlo
 # kernel, the exact tier's bulk-write and epoch fast-forward kernels,
-# and the two /v1/batch service paths. The batch pair is gated mostly
-# for its allocs/op (exact match required): the adaptive controller
-# must add zero allocations over the static scheme's 27-alloc path.
-guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward,BenchmarkMemserverBatchWrite,BenchmarkMemserverBatchWriteAdaptive'
+# the two /v1/batch service paths, and the two binary-protocol paths.
+# The batch pair is gated mostly for its allocs/op (exact match
+# required): the adaptive controller must add zero allocations over
+# the static scheme's 27-alloc path, and the binary frame/decode paths
+# must stay at zero allocs/op outright.
+guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward,BenchmarkMemserverBatchWrite,BenchmarkMemserverBatchWriteAdaptive,BenchmarkBinaryBatchWrite,BenchmarkBinaryDecodeFrame'
 regex="^($(echo "$guards" | tr ',' '|'))\$"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -32,3 +34,20 @@ go test -run '^$' -bench "$regex" -benchmem \
     -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-3}" \
     . ./internal/memserver/ | tee "$tmp"
 go run ./cmd/benchdiff -baseline "$baseline" -guard "$guards" "$tmp"
+
+# The binary protocol's reason to exist: on the same banks and batch
+# shape it must move ≥3× the lines/s of the JSON path (best of the
+# recorded repetitions; both benches skip sockets, so this is pure
+# serving-path overhead).
+awk '
+$1 ~ /^BenchmarkMemserverBatchWrite(-[0-9]+)?$/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "lines/s" && $i + 0 > json) json = $i + 0
+}
+$1 ~ /^BenchmarkBinaryBatchWrite(-[0-9]+)?$/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "lines/s" && $i + 0 > bin) bin = $i + 0
+}
+END {
+    if (json <= 0 || bin <= 0) { print "bench-gate: FAIL: lines/s series missing for the batch benches"; exit 1 }
+    printf "bench-gate: binary %.0f lines/s vs json %.0f lines/s (%.1fx)\n", bin, json, bin / json
+    if (bin < 3 * json) { print "bench-gate: FAIL: binary batch path below 3x the JSON path"; exit 1 }
+}' "$tmp"

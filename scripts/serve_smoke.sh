@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Server smoke test: the CI job and `make serve-smoke` both run this.
 #
-# Boots memctld on a random port, drives it with loadgen for ~2s under
-# the benign and the attack-shaped stream, asserts the detector told
-# them apart, and checks the daemon drains cleanly on SIGTERM.
+# Boots memctld on random ports (JSON and binary listeners both live),
+# drives it with loadgen for ~2s under the benign and the attack-shaped
+# stream over each transport, asserts the detector told them apart,
+# probes the binary listener with binprobe (round trip + version skew),
+# and checks the daemon drains cleanly on SIGTERM with both listeners
+# up.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,18 +20,26 @@ trap cleanup EXIT
 
 go build -o "$tmp/memctld" ./cmd/memctld
 go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/binprobe" ./cmd/binprobe
 
 "$tmp/memctld" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -binary-addr 127.0.0.1:0 -binary-addr-file "$tmp/binaddr" \
     -banks 8 -lines $((1 << 20)) 2>"$tmp/server.log" &
 pid=$!
 
 for _ in $(seq 100); do
-    [ -s "$tmp/addr" ] && break
+    [ -s "$tmp/addr" ] && [ -s "$tmp/binaddr" ] && break
     sleep 0.1
 done
-[ -s "$tmp/addr" ] || { echo "FAIL: server never bound"; cat "$tmp/server.log"; exit 1; }
+[ -s "$tmp/addr" ] && [ -s "$tmp/binaddr" ] \
+    || { echo "FAIL: server never bound"; cat "$tmp/server.log"; exit 1; }
 addr="http://$(cat "$tmp/addr")"
-echo "== memctld up at $addr"
+binaddr="$(cat "$tmp/binaddr")"
+echo "== memctld up at $addr (binary $binaddr)"
+
+echo "== binary probe: round trip and version skew"
+"$tmp/binprobe" -addr "$binaddr"
+"$tmp/binprobe" -addr "$binaddr" -skew
 
 echo "== uniform stream (detector must stay quiet)"
 "$tmp/loadgen" -addr "$addr" -workers 8 -duration 2s -pattern uniform | tee "$tmp/uniform.out"
@@ -38,8 +49,18 @@ ops=$(sed -n 's/^sustained: \([0-9]*\) line-ops.*/\1/p' "$tmp/uniform.out")
 [ -n "$ops" ] && [ "$ops" -gt 0 ] \
     || { echo "FAIL: no sustained throughput reported"; exit 1; }
 
-echo "== attack-shaped stream (detector must alarm)"
-"$tmp/loadgen" -addr "$addr" -workers 8 -duration 2s -pattern attack | tee "$tmp/attack.out"
+echo "== binary uniform stream (same machine, faster wire)"
+"$tmp/loadgen" -addr "$addr" -proto binary -binary-addr "$binaddr" \
+    -workers 8 -duration 2s -pattern uniform | tee "$tmp/binary.out"
+grep -q "detector alarms: 0 (run)" "$tmp/binary.out" \
+    || { echo "FAIL: binary uniform traffic raised alarms"; exit 1; }
+binops=$(sed -n 's/^sustained: \([0-9]*\) line-ops.*/\1/p' "$tmp/binary.out")
+[ -n "$binops" ] && [ "$binops" -gt 0 ] \
+    || { echo "FAIL: no sustained binary throughput reported"; exit 1; }
+
+echo "== attack-shaped stream over the binary wire (detector must alarm)"
+"$tmp/loadgen" -addr "$addr" -proto binary -binary-addr "$binaddr" \
+    -workers 8 -duration 2s -pattern attack | tee "$tmp/attack.out"
 grep -q "detector alarms: 0 (run)" "$tmp/attack.out" \
     && { echo "FAIL: attack stream raised no alarm"; exit 1; }
 
@@ -53,8 +74,12 @@ grep -q '^memctld_demand_writes_total' "$tmp/metrics.out" \
     || { echo "FAIL: /metrics missing counters"; exit 1; }
 awk '/^memctld_detector_alarms_total{/ { sum += $2 } END { exit !(sum > 0) }' "$tmp/metrics.out" \
     || { echo "FAIL: /metrics detector-alarm counter still zero"; exit 1; }
+awk '/^memctld_binary_line_ops_total / { sum += $2 } END { exit !(sum > 0) }' "$tmp/metrics.out" \
+    || { echo "FAIL: /metrics binary line-op counter still zero"; exit 1; }
+awk '/^memctld_json_line_ops_total / { sum += $2 } END { exit !(sum > 0) }' "$tmp/metrics.out" \
+    || { echo "FAIL: /metrics json line-op counter still zero"; exit 1; }
 
-echo "== SIGTERM → graceful drain"
+echo "== SIGTERM → graceful drain (both listeners live)"
 kill -TERM "$pid"
 wait "$pid" || { echo "FAIL: memctld exited non-zero"; cat "$tmp/server.log"; exit 1; }
 pid=""
