@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build fmt fmt-check vet lint test race race-sweep bench-smoke bench-record bench-gate profile serve serve-smoke adaptive-smoke loadgen tournament-smoke tournament-nightly ci
+.PHONY: build fmt fmt-check vet lint test race race-sweep bench-smoke bench-record bench-gate profile serve serve-smoke adaptive-smoke router-smoke loadgen tournament-smoke tournament-nightly ci
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,14 @@ serve-smoke:
 adaptive-smoke:
 	./scripts/adaptive_smoke.sh
 
+# Distributed serving check: three memctld shard processes behind a
+# memrouterd, booted via waitready; binprobe and loadgen drive the
+# benign and attack streams entirely through the router, the shard-
+# labeled metric passthrough proves where the traffic landed, and the
+# topology drains router-first on SIGTERM.
+router-smoke:
+	./scripts/router_smoke.sh
+
 # Full registered scheme×attack matrix at smoke scale (2^10 lines)
 # through cmd/tournament: every playable registry cell must complete,
 # and a checkpointed rerun must emit a byte-identical CSV.
@@ -101,4 +109,4 @@ tournament-nightly:
 		-ckpt .tournament-ckpt -resume \
 		-out tournament.csv -meta runmeta.tournament.json
 
-ci: fmt-check test lint race race-sweep bench-smoke bench-gate serve-smoke adaptive-smoke tournament-smoke
+ci: fmt-check test lint race race-sweep bench-smoke bench-gate serve-smoke adaptive-smoke router-smoke tournament-smoke

@@ -4,9 +4,12 @@
 // so offered load tracks server capacity.
 //
 // Transports (-proto): json drives POST /v1/batch; binary drives the
-// binary batch protocol (memctld -binary-addr), one framed TCP
-// connection per worker. Health checks and metrics always go over
-// HTTP — the binary listener is data-plane only.
+// binary batch protocol (memctld -binary-addr, or a memrouterd front),
+// one framed TCP connection per worker. With -window N (binary only)
+// each worker pipelines up to N batches in flight on its connection
+// instead of waiting out a round trip per batch — the client-side half
+// of the protocol's in-order pipelining contract. Health checks and
+// metrics always go over HTTP — the binary listener is data-plane only.
 //
 // Streams (-pattern):
 //
@@ -32,6 +35,7 @@
 //	loadgen -addr http://127.0.0.1:8100 -workers 8 -duration 5s
 //	loadgen -pattern attack -duration 2s
 //	loadgen -proto binary -binary-addr 127.0.0.1:8101 -duration 5s
+//	loadgen -proto binary -window 16 -duration 5s    # pipelined frames
 package main
 
 import (
@@ -51,6 +55,7 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8100", "memctld base URL (control plane, and the json data plane)")
 	proto := flag.String("proto", "json", "data-plane transport: json|binary")
 	binAddr := flag.String("binary-addr", "127.0.0.1:8101", "memctld binary listener host:port (-proto binary)")
+	window := flag.Int("window", 1, "in-flight batches per binary worker (1 = lockstep closed loop)")
 	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
 	duration := flag.Duration("duration", 5*time.Second, "run length")
 	batch := flag.Int("batch", 256, "lines per /v1/batch request")
@@ -63,6 +68,12 @@ func main() {
 
 	if *proto != "json" && *proto != "binary" {
 		fatal(fmt.Errorf("unknown proto %q (json|binary)", *proto))
+	}
+	if *window < 1 {
+		fatal(fmt.Errorf("-window must be at least 1"))
+	}
+	if *window > 1 && *proto != "binary" {
+		fatal(fmt.Errorf("-window needs -proto binary (pipelining is a wire-protocol contract)"))
 	}
 	client := memserver.NewClient(*addr)
 	if err := client.Healthz(); err != nil {
@@ -96,7 +107,7 @@ func main() {
 			defer wg.Done()
 			results[w] = runWorker(workerConfig{
 				id: w, addr: *addr, proto: *proto, binAddr: *binAddr,
-				lines: lines, batch: *batch,
+				window: *window, lines: lines, batch: *batch,
 				pattern: *pattern, readShare: *readShare,
 				zipfS: *zipfS, ramp: *ramp, seed: *seed + uint64(w)*7919,
 			}, deadline)
@@ -114,8 +125,8 @@ func main() {
 		total.latencies = append(total.latencies, r.latencies...)
 	}
 	opsPerSec := float64(total.ops) / elapsed.Seconds()
-	fmt.Printf("loadgen: pattern=%s proto=%s workers=%d batch=%d duration=%v\n",
-		*pattern, *proto, *workers, *batch, elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: pattern=%s proto=%s workers=%d batch=%d window=%d duration=%v\n",
+		*pattern, *proto, *workers, *batch, *window, elapsed.Round(time.Millisecond))
 	fmt.Printf("sustained: %.0f line-ops/s (%d ops in %d batches, %d rejected by backpressure)\n",
 		opsPerSec, total.ops, total.batches, total.rejected)
 	printLatency(total.latencies)
@@ -186,6 +197,7 @@ type workerConfig struct {
 	addr      string
 	proto     string
 	binAddr   string
+	window    int
 	lines     uint64
 	batch     int
 	pattern   string
@@ -207,25 +219,10 @@ type workerResult struct {
 	latencies []float64 // per-batch wall latency, microseconds
 }
 
-// runWorker is one closed loop: build a batch from the address stream,
-// send it, record wall latency, repeat until the deadline. Each worker
-// owns its transport — an HTTP connection for json, a framed TCP
-// connection for binary.
-func runWorker(cfg workerConfig, deadline time.Time) workerResult {
-	var client batcher
-	if cfg.proto == "binary" {
-		bc, err := memserver.DialBinary(cfg.binAddr)
-		if err != nil {
-			fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
-		}
-		defer bc.Close()
-		client = bc
-	} else {
-		client = memserver.NewClient(cfg.addr)
-	}
-	rng := stats.NewRNG(cfg.seed)
-	var next func() uint64
-	content := uint8(2) // MIXED: ordinary data pays SET latency
+// addrStream builds the per-worker address generator for the pattern:
+// the next-line function plus the data content every write carries.
+func addrStream(cfg workerConfig, rng *stats.RNG) (next func() uint64, content uint8) {
+	content = 2 // MIXED: ordinary data pays SET latency
 	switch cfg.pattern {
 	case "uniform":
 		next = func() uint64 { return rng.Uint64n(cfg.lines) }
@@ -259,18 +256,47 @@ func runWorker(cfg workerConfig, deadline time.Time) workerResult {
 	default:
 		fatal(fmt.Errorf("unknown pattern %q", cfg.pattern))
 	}
+	return next, content
+}
+
+// fillBatch populates ops from the stream, flipping the read share.
+func fillBatch(ops []memserver.BatchOp, next func() uint64, content uint8, readShare float64, rng *stats.RNG) {
+	for i := range ops {
+		ops[i] = memserver.BatchOp{Line: next(), Data: content}
+		if readShare > 0 && rng.Float64() < readShare {
+			ops[i].Read = true
+			ops[i].Data = 0
+		}
+	}
+}
+
+// runWorker is one closed loop: build a batch from the address stream,
+// send it, record wall latency, repeat until the deadline. Each worker
+// owns its transport — an HTTP connection for json, a framed TCP
+// connection for binary.
+func runWorker(cfg workerConfig, deadline time.Time) workerResult {
+	if cfg.proto == "binary" && cfg.window > 1 {
+		return runPipelinedWorker(cfg, deadline)
+	}
+	var client batcher
+	if cfg.proto == "binary" {
+		bc, err := memserver.DialBinary(cfg.binAddr)
+		if err != nil {
+			fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
+		}
+		defer bc.Close()
+		client = bc
+	} else {
+		client = memserver.NewClient(cfg.addr)
+	}
+	rng := stats.NewRNG(cfg.seed)
+	next, content := addrStream(cfg, rng)
 
 	var res workerResult
 	ops := make([]memserver.BatchOp, cfg.batch)
 	//rbsglint:allow simdeterminism -- closed-loop deadline check against real time; the benchmark runs for a wall-clock duration
 	for time.Now().Before(deadline) {
-		for i := range ops {
-			ops[i] = memserver.BatchOp{Line: next(), Data: content}
-			if cfg.readShare > 0 && rng.Float64() < cfg.readShare {
-				ops[i].Read = true
-				ops[i].Data = 0
-			}
-		}
+		fillBatch(ops, next, content, cfg.readShare, rng)
 		//rbsglint:allow simdeterminism -- batch wall latency is the measured quantity (p50/p90/p99 report)
 		t0 := time.Now()
 		resp, err := client.Batch(ops)
@@ -293,6 +319,82 @@ func runWorker(cfg workerConfig, deadline time.Time) workerResult {
 		res.ops += uint64(resp.Applied)
 		res.batches++
 		res.latencies = append(res.latencies, float64(lat.Microseconds()))
+	}
+	return res
+}
+
+// runPipelinedWorker keeps up to cfg.window batches in flight on one
+// binary connection: send until the window is full, then complete the
+// oldest before sending the next. Responses arrive in send order (the
+// wire contract), so a FIFO of send timestamps is the only bookkeeping.
+// Reported batch latency therefore includes time queued behind the
+// window — the client-visible latency of a pipelined deployment.
+func runPipelinedWorker(cfg workerConfig, deadline time.Time) workerResult {
+	bc, err := memserver.DialBinary(cfg.binAddr)
+	if err != nil {
+		fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
+	}
+	defer bc.Close()
+	rng := stats.NewRNG(cfg.seed)
+	next, content := addrStream(cfg, rng)
+
+	var res workerResult
+	var resp memserver.BatchResponse
+	var backoff time.Duration
+	t0s := make([]time.Time, 0, cfg.window)
+	recvOne := func() {
+		err := bc.RecvBatch(&resp)
+		//rbsglint:allow simdeterminism -- batch wall latency is the measured quantity (p50/p90/p99 report)
+		lat := time.Since(t0s[0])
+		t0s = t0s[1:]
+		res.batches++
+		if be, ok := err.(*memserver.BackpressureError); ok {
+			if be.Resp != nil {
+				res.ops += uint64(be.Resp.Applied)
+				res.rejected += uint64(be.Resp.Rejected)
+			} else {
+				res.rejected += uint64(cfg.batch)
+			}
+			if be.RetryAfter > backoff {
+				backoff = be.RetryAfter
+			}
+			return
+		}
+		if err != nil {
+			fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
+		}
+		res.ops += uint64(resp.Applied)
+		res.latencies = append(res.latencies, float64(lat.Microseconds()))
+	}
+
+	ops := make([]memserver.BatchOp, cfg.batch)
+	//rbsglint:allow simdeterminism -- closed-loop deadline check against real time; the benchmark runs for a wall-clock duration
+	for time.Now().Before(deadline) {
+		if backoff > 0 {
+			// Honor the server's Retry-After before offering more load,
+			// but only once the pipe is empty — frames already in flight
+			// still have to be received in order.
+			for len(t0s) > 0 {
+				recvOne()
+			}
+			d := backoff
+			backoff = 0
+			time.Sleep(d)
+			continue
+		}
+		if len(t0s) == cfg.window {
+			recvOne()
+			continue
+		}
+		fillBatch(ops, next, content, cfg.readShare, rng)
+		if err := bc.SendBatch(ops); err != nil {
+			fatal(fmt.Errorf("worker %d: %w", cfg.id, err))
+		}
+		//rbsglint:allow simdeterminism -- send timestamp anchors the measured batch wall latency
+		t0s = append(t0s, time.Now())
+	}
+	for len(t0s) > 0 {
+		recvOne()
 	}
 	return res
 }

@@ -1,0 +1,101 @@
+// Command waitready blocks until every named address file exists and is
+// non-empty, then prints the addresses one per line (file order). The
+// daemons write their bound addresses with -addr-file/-binary-addr-file
+// after the listener is up, so a non-empty file IS the readiness
+// signal; scripts that boot multi-daemon topologies (three shards plus
+// a router) wait on the whole set with one call instead of stacking
+// sleeps that are either too slow or too racy.
+//
+// With -healthz the wait extends past the file: each address must also
+// answer GET /healthz with 200 — the router's readiness, for example,
+// requires every shard behind it to pass its probe, not merely a bound
+// port.
+//
+// Exits 0 when everything is ready, 1 on timeout (naming the laggards
+// on stderr).
+//
+// Usage:
+//
+//	waitready /tmp/shard0.bin /tmp/shard1.bin /tmp/router.bin
+//	waitready -timeout 30s -healthz /tmp/router.ctl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 15*time.Second, "give up after this long")
+	every := flag.Duration("every", 25*time.Millisecond, "poll period")
+	healthz := flag.Bool("healthz", false, "also require GET /healthz to answer 200 at each address")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "waitready: no address files named")
+		os.Exit(1)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	addrs := make([]string, len(files))
+	ready := make([]bool, len(files))
+	//rbsglint:allow simdeterminism -- readiness waiting is wall-clock by definition
+	deadline := time.Now().Add(*timeout)
+	for {
+		allReady := true
+		for i, f := range files {
+			if ready[i] {
+				continue
+			}
+			if addrs[i] == "" {
+				b, err := os.ReadFile(f)
+				if err != nil || len(b) == 0 {
+					allReady = false
+					continue
+				}
+				addrs[i] = strings.TrimSpace(string(b))
+			}
+			if *healthz && !healthOK(client, addrs[i]) {
+				allReady = false
+				continue
+			}
+			ready[i] = true
+		}
+		if allReady {
+			for _, a := range addrs {
+				fmt.Println(a)
+			}
+			return
+		}
+		//rbsglint:allow simdeterminism -- readiness waiting is wall-clock by definition
+		if time.Now().After(deadline) {
+			for i, f := range files {
+				if !ready[i] {
+					why := "file empty or missing"
+					if addrs[i] != "" {
+						why = addrs[i] + " not healthy"
+					}
+					fmt.Fprintf(os.Stderr, "waitready: %s: %s\n", f, why)
+				}
+			}
+			os.Exit(1)
+		}
+		time.Sleep(*every)
+	}
+}
+
+// healthOK reports whether addr answers GET /healthz with 200.
+func healthOK(client *http.Client, addr string) bool {
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,11 +1,11 @@
-// Package metriccontract enforces the memserver /metrics naming
-// contract: metric names are Prometheus-conventional — counters end in
-// _total, gauges do not, names are lower_snake_case — and no name is
-// emitted twice. The check is deliberately repo-shaped: it looks at
-// the memserver package's declarative metric table (entries of a
-// struct with name/help/kind fields) and at calls to the local gauge()
-// and counter() render helpers, which together define everything
-// /metrics exposes.
+// Package metriccontract enforces the /metrics naming contract of the
+// serving packages (memserver and memrouter): metric names are
+// Prometheus-conventional — counters end in _total, gauges do not,
+// names are lower_snake_case — and no name is emitted twice. The check
+// is deliberately repo-shaped: it looks at each package's declarative
+// metric table (entries of a struct with name/help/kind fields) and at
+// calls to the local gauge() and counter() render helpers, which
+// together define everything /metrics exposes.
 //
 // The dashboards and the tournament harness join series by name, so a
 // rename or a convention slip is an observable break even though no Go
@@ -35,7 +35,8 @@ var Analyzer = &analysis.Analyzer{
 var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 func run(pass *analysis.Pass) error {
-	if !strings.HasSuffix(pass.Pkg.Path(), "internal/memserver") {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/memserver") &&
+		!strings.HasSuffix(pass.Pkg.Path(), "internal/memrouter") {
 		return nil
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,123 @@
+package memrouter
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"securityrbsg/internal/memserver"
+	"securityrbsg/internal/stats"
+)
+
+// Router scaling benchmarks: a pipelined client pushing 256-op batches
+// through a router over real loopback TCP, against 1 shard and against
+// 3. Shards here are in-process servers (goroutines, not processes),
+// so the scaling these benches show is scheduler parallelism — the
+// multi-PROCESS claim is the smoke script's job — but the serving path
+// is the real one end to end: frame decode, split, pooled pipelining,
+// merge, encode. The bench gate asserts 3 shards ≥ 2.5× 1 shard when
+// the host has cores to scale onto, and records both series in the
+// committed baseline either way.
+
+// benchShard boots one shard with a binary listener (bench twin of the
+// test helpers, which want *testing.T).
+func benchShard(b *testing.B, seed uint64) string {
+	b.Helper()
+	s := memserver.MustNew(memserver.Config{
+		Banks: 8, Lines: 8 << 14, Scheme: memserver.SchemeRBSGDetector,
+		Regions: 32, Interval: 100, Seed: seed, QueueDepth: 256,
+	})
+	s.Start()
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.ServeBinary(ln)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.ShutdownBinary(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// benchRouter measures pipelined batch throughput through a router
+// fronting n shards.
+func benchRouter(b *testing.B, n int) {
+	const (
+		batch  = 256
+		window = 16
+	)
+	addrs := make([]string, n)
+	gm := make([]int, n)
+	for i := range addrs {
+		addrs[i] = benchShard(b, uint64(1+i))
+		gm[i] = i
+	}
+	r, err := New(Config{
+		Shards: addrs, Lines: uint64(n) * (8 << 14), GroupMap: gm,
+		Conns: 2, Window: 32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go r.ServeBinary(ln)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+	c, err := memserver.DialBinary(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := stats.NewRNG(3)
+	ops := make([]memserver.BatchOp, batch)
+	for i := range ops {
+		ops[i] = memserver.BatchOp{Line: rng.Uint64n(r.Map().Lines()), Data: 2}
+	}
+
+	var resp memserver.BatchResponse
+	inflight := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if inflight == window {
+			if err := c.RecvBatch(&resp); err != nil {
+				b.Fatal(err)
+			}
+			inflight--
+		}
+		if err := c.SendBatch(ops); err != nil {
+			b.Fatal(err)
+		}
+		inflight++
+	}
+	for ; inflight > 0; inflight-- {
+		if err := c.RecvBatch(&resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "lines/s")
+}
+
+func BenchmarkRouterBatch1Shard(b *testing.B)  { benchRouter(b, 1) }
+func BenchmarkRouterBatch3Shards(b *testing.B) { benchRouter(b, 3) }

@@ -1,0 +1,93 @@
+package memrouter
+
+import "testing"
+
+func TestMapBlockedLayout(t *testing.T) {
+	// 4 groups over 2 shards, interleaved assignment: the map must
+	// concatenate each shard's groups in ascending order.
+	m, err := NewMap(1024, 4, 2, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		line  uint64
+		shard int
+		local uint64
+	}{
+		{0, 0, 0},
+		{255, 0, 255},
+		{256, 1, 0},
+		{600, 0, 344},  // group 2 is shard 0's second group: 256 + 88
+		{1023, 1, 511}, // group 3 is shard 1's second group
+	}
+	for _, c := range cases {
+		s, l := m.Locate(c.line)
+		if s != c.shard || l != c.local {
+			t.Fatalf("Locate(%d) = (%d, %d), want (%d, %d)", c.line, s, l, c.shard, c.local)
+		}
+	}
+	if m.LocalLines(0) != 512 || m.LocalLines(1) != 512 {
+		t.Fatalf("local lines %d/%d, want 512/512", m.LocalLines(0), m.LocalLines(1))
+	}
+
+	// Identity topology: one group per shard, blocked — the RTA
+	// geometry relies on local == line % perGroup.
+	m, err = NewMap(768, 3, 3, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []uint64{0, 17, 255, 256, 511, 767} {
+		s, l := m.Locate(line)
+		if want := int(line / 256); s != want {
+			t.Fatalf("Locate(%d) shard %d, want %d", line, s, want)
+		}
+		if want := line % 256; l != want {
+			t.Fatalf("Locate(%d) local %d, want %d", line, l, want)
+		}
+	}
+}
+
+func TestMapRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		lines    uint64
+		groups   int
+		shards   int
+		groupMap []int
+	}{
+		{1024, 4, 0, nil},               // no shards
+		{1024, 2, 3, nil},               // fewer groups than shards
+		{1000, 3, 3, nil},               // lines do not divide
+		{0, 3, 3, nil},                  // no lines
+		{1024, 4, 2, []int{0, 1}},       // map length mismatch
+		{1024, 4, 2, []int{0, 2, 0, 1}}, // shard index out of range
+		{1024, 4, 2, []int{0, 0, 0, 0}}, // shard 1 owns nothing
+	}
+	for _, c := range cases {
+		if _, err := NewMap(c.lines, c.groups, c.shards, c.groupMap); err == nil {
+			t.Fatalf("NewMap(%d, %d, %d, %v) accepted a bad config", c.lines, c.groups, c.shards, c.groupMap)
+		}
+	}
+}
+
+func TestRendezvousCoversAllShards(t *testing.T) {
+	for _, tc := range []struct{ groups, shards int }{
+		{3, 3}, {4, 2}, {8, 3}, {16, 5}, {64, 7},
+	} {
+		m, err := NewMap(uint64(tc.groups)*128, tc.groups, tc.shards, nil)
+		if err != nil {
+			t.Fatalf("groups=%d shards=%d: %v", tc.groups, tc.shards, err)
+		}
+		for s := 0; s < tc.shards; s++ {
+			if m.LocalLines(s) == 0 {
+				t.Fatalf("groups=%d shards=%d: shard %d owns no lines", tc.groups, tc.shards, s)
+			}
+		}
+		// Deterministic: the same inputs must produce the same map.
+		m2, _ := NewMap(uint64(tc.groups)*128, tc.groups, tc.shards, nil)
+		for g := 0; g < tc.groups; g++ {
+			if m.GroupShard(g) != m2.GroupShard(g) {
+				t.Fatalf("rendezvous map not deterministic at group %d", g)
+			}
+		}
+	}
+}

@@ -198,11 +198,23 @@ func (s *Server) processFrame(sc *connScratch, body []byte) (out []byte, fatal b
 		s.binRejects.Add(1)
 		return frameOut(b, appendErrBody(frameReserve(b), wireErrVersion, "server speaks version 1")), false
 	}
-	if body[1] != frameBatchReq {
+	var (
+		ops  []BatchOp
+		code uint16
+	)
+	read := false
+	switch body[1] {
+	case frameBatchReq:
+		ops, code = decodeBatchReq(body[wireHdrSize:], b.req.Ops)
+	case frameReadReq:
+		// Streaming read-mostly mode: the reads run through the same
+		// batch engine, only the response encoding is thinner.
+		read = true
+		ops, code = decodeReadReqOps(body[wireHdrSize:], b.req.Ops)
+	default:
 		s.binRejects.Add(1)
-		return frameOut(b, appendErrBody(frameReserve(b), wireErrMalformed, "frame type not batch-req")), false
+		return frameOut(b, appendErrBody(frameReserve(b), wireErrMalformed, "frame type not batch-req or read-req")), false
 	}
-	ops, code := decodeBatchReq(body[wireHdrSize:], b.req.Ops)
 	b.req.Ops = ops
 	if code != 0 {
 		s.binRejects.Add(1)
@@ -219,6 +231,9 @@ func (s *Server) processFrame(sc *connScratch, body []byte) (out []byte, fatal b
 	resetRuns(b) // the scratch lives as long as the connection
 	resp := &b.resp
 	s.binLineOps.Add(uint64(resp.Applied))
+	if read {
+		s.binReadOps.Add(uint64(resp.Applied))
+	}
 	switch {
 	case resp.Applied == 0 && draining:
 		return frameOut(b, appendErrBody(frameReserve(b), wireErrDraining, "server draining")), true
@@ -226,7 +241,16 @@ func (s *Server) processFrame(sc *connScratch, body []byte) (out []byte, fatal b
 		o := frameReserve(b)
 		o = append(o, wireVersion, frameNack)
 		o = binary.LittleEndian.AppendUint32(o, nackRetryAfterSecs)
-		o = appendBatchRespPayload(o, resp)
+		if read {
+			o = appendReadRespPayload(o, resp)
+		} else {
+			o = appendBatchRespPayload(o, resp)
+		}
+		return frameOut(b, o), false
+	case read:
+		o := frameReserve(b)
+		o = append(o, wireVersion, frameReadResp)
+		o = appendReadRespPayload(o, resp)
 		return frameOut(b, o), false
 	default:
 		o := frameReserve(b)

@@ -31,6 +31,12 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 	flag := appendBatchReqBody(nil, wireVersion, []BatchOp{{Line: 9}})
 	flag[len(flag)-2] = 0x80 // flags outside {0,1}
 	f.Add(flag)
+	validRead := appendReadReqBody(nil, wireVersion, []uint64{0, 3, 2047})
+	f.Add(validRead)
+	f.Add(validRead[:len(validRead)-5])                              // truncated mid-line
+	f.Add(appendReadReqBody(nil, wireVersion, nil))                  // zero reads
+	f.Add([]byte{wireVersion, frameReadReq, 0xff, 0xff, 0xff, 0xff}) // 4G reads, no payload
+	f.Add(appendReadReqBody(nil, wireVersion, []uint64{1 << 62}))    // line out of space
 
 	s := MustNew(Config{
 		Banks: 2, Lines: 2048, Scheme: SchemeNone,
@@ -48,7 +54,7 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 			t.Fatalf("processFrame returned %d-byte frame, below prefix+header", len(out))
 		}
 
-		// Round-trip property on the strict decoder: accepted payloads
+		// Round-trip property on the strict decoders: accepted payloads
 		// re-encode byte-identically.
 		if len(body) >= wireHdrSize && body[0] == wireVersion && body[1] == frameBatchReq {
 			payload := body[wireHdrSize:]
@@ -57,6 +63,23 @@ func FuzzBinaryFrameDecode(f *testing.F) {
 				re := appendBatchReqBody(nil, wireVersion, ops)
 				if !bytes.Equal(re[wireHdrSize:], payload) {
 					t.Fatalf("accepted payload is not canonical:\n in % x\nout % x", payload, re[wireHdrSize:])
+				}
+			}
+		}
+		if len(body) >= wireHdrSize && body[0] == wireVersion && body[1] == frameReadReq {
+			payload := body[wireHdrSize:]
+			ops, code := decodeReadReqOps(payload, nil)
+			if code == 0 {
+				lines := make([]uint64, len(ops))
+				for i, o := range ops {
+					if !o.Read || o.Data != 0 {
+						t.Fatalf("read decode produced non-read op %+v", o)
+					}
+					lines[i] = o.Line
+				}
+				re := appendReadReqBody(nil, wireVersion, lines)
+				if !bytes.Equal(re[wireHdrSize:], payload) {
+					t.Fatalf("accepted read payload is not canonical:\n in % x\nout % x", payload, re[wireHdrSize:])
 				}
 			}
 		}

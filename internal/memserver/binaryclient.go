@@ -15,9 +15,27 @@ import (
 // attacker in internal/attack runs unmodified over the binary
 // transport; that is what the binary-transport RTA regression drives.
 //
-// A BinaryClient is not safe for concurrent use: it owns one
-// connection and reuses its encode/decode buffers and its response
-// struct across calls (Batch's result is valid until the next call).
+// The client supports two calling styles over the same connection:
+//
+//   - Lockstep: Batch / ReadBatch send one frame and block for its
+//     response — the PR 9 behavior, one request in flight.
+//   - Pipelined: SendBatch / SendReadBatch enqueue frames without
+//     waiting, RecvBatch / RecvReadBatch complete them strictly in
+//     send order (the server processes a connection's frames
+//     sequentially and answers in order, so in-order completion is a
+//     protocol property, not a client guess). The caller owns the
+//     window: keep at most a bounded number of sends un-received so a
+//     stalled server backs pressure up instead of ballooning socket
+//     buffers. Pipelining changes nothing on the wire — every frame is
+//     a v1 frame an unpipelined server answers identically — so there
+//     is no negotiation and no fallback to manage.
+//
+// Concurrency: send-side state (the encode buffer) and recv-side state
+// (the header and decode buffers) are disjoint, so ONE goroutine may
+// send while ONE other goroutine receives — the shape the router's
+// per-connection sender/receiver pairs use. The client is not safe for
+// two concurrent senders or two concurrent receivers, and the lockstep
+// calls (which both send and receive) must not overlap pipelined use.
 // loadgen gives each worker its own client, mirroring how each worker
 // owns an HTTP connection in the JSON path.
 type BinaryClient struct {
@@ -27,10 +45,19 @@ type BinaryClient struct {
 	// servers answer version skew.
 	Version uint8
 
+	// Send-side state: owned by the sending goroutine.
+	wbuf []byte
+
+	// Recv-side state: owned by the receiving goroutine.
 	hdr  [4]byte
-	buf  []byte
-	op   [1]BatchOp
-	resp BatchResponse
+	rbuf []byte
+
+	// Lockstep-call state (Batch/ReadBatch/Write/Read only).
+	op           [1]BatchOp
+	resp         BatchResponse
+	rresp        ReadBatchResponse
+	fallbackOps  []BatchOp
+	readFallback bool // server rejected read-req frames; use full batches
 }
 
 // DialBinary connects to a memctld binary listener (host:port).
@@ -56,63 +83,212 @@ func (c *BinaryClient) version() uint8 {
 	return wireVersion
 }
 
-// Batch sends one batch frame and decodes the answer. On a Nack frame
-// it returns a *BackpressureError carrying the retry-after and the
-// partial accounting, mirroring the JSON client's 429 handling; on an
-// Err frame it returns the typed *WireError. The returned response is
-// the client's own buffer, valid until the next call.
-func (c *BinaryClient) Batch(ops []BatchOp) (*BatchResponse, error) {
+// SendBatch writes one batch frame without waiting for its response.
+// The ops are fully serialized before this returns; the caller may
+// reuse the slice immediately. Complete the frame with RecvBatch —
+// responses arrive in send order.
+//
+//rbsglint:hotpath
+func (c *BinaryClient) SendBatch(ops []BatchOp) error {
 	// Compose the body after a 4-byte hole, then fill the length prefix:
 	// one buffer, one conn.Write, no staging copy.
-	if cap(c.buf) < 4 {
-		c.buf = make([]byte, 4)
+	if cap(c.wbuf) < 4 {
+		c.wbuf = make([]byte, 4)
 	}
-	c.buf = appendBatchReqBody(c.buf[:4], c.version(), ops)
-	binary.LittleEndian.PutUint32(c.buf[:4], uint32(len(c.buf)-4))
-	if _, err := c.conn.Write(c.buf); err != nil {
-		return nil, fmt.Errorf("binary write: %w", err)
+	c.wbuf = appendBatchReqBody(c.wbuf[:4], c.version(), ops)
+	binary.LittleEndian.PutUint32(c.wbuf[:4], uint32(len(c.wbuf)-4))
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return fmt.Errorf("binary write: %w", err)
 	}
+	return nil
+}
+
+// SendReadBatch writes one streaming read-batch frame (no per-op ns in
+// the response) without waiting. Complete it with RecvReadBatch.
+// Pipelined reads do not auto-fall back on old servers — use the
+// lockstep ReadBatch when the server version is unknown.
+//
+//rbsglint:hotpath
+func (c *BinaryClient) SendReadBatch(lines []uint64) error {
+	if cap(c.wbuf) < 4 {
+		c.wbuf = make([]byte, 4)
+	}
+	c.wbuf = appendReadReqBody(c.wbuf[:4], c.version(), lines)
+	binary.LittleEndian.PutUint32(c.wbuf[:4], uint32(len(c.wbuf)-4))
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return fmt.Errorf("binary write: %w", err)
+	}
+	return nil
+}
+
+// RecvBatch reads the oldest outstanding batch response into resp,
+// reusing resp's slice capacity. On a Nack frame it returns a
+// *BackpressureError carrying the retry-after and the partial
+// accounting (decoded into resp), mirroring the JSON client's 429
+// handling; on an Err frame it returns the typed *WireError.
+//
+//rbsglint:hotpath
+func (c *BinaryClient) RecvBatch(resp *BatchResponse) error {
 	body, err := c.readFrame()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(body) < wireHdrSize {
-		return nil, fmt.Errorf("binary response body %d bytes, below header size", len(body))
+		return fmt.Errorf("binary response body %d bytes, below header size", len(body))
 	}
 	if body[0] != wireVersion {
-		return nil, fmt.Errorf("binary response version %d, client speaks %d", body[0], wireVersion)
+		return fmt.Errorf("binary response version %d, client speaks %d", body[0], wireVersion)
 	}
 	switch body[1] {
 	case frameBatchResp:
-		if code := decodeBatchRespPayload(body[wireHdrSize:], &c.resp); code != 0 {
-			return nil, fmt.Errorf("binary response payload failed decode (code %d)", code)
+		if code := decodeBatchRespPayload(body[wireHdrSize:], resp); code != 0 {
+			return fmt.Errorf("binary response payload failed decode (code %d)", code)
 		}
-		return &c.resp, nil
+		return nil
 	case frameNack:
 		payload := body[wireHdrSize:]
 		if len(payload) < 4 {
-			return nil, fmt.Errorf("binary nack payload %d bytes, below retry-after field", len(payload))
+			return fmt.Errorf("binary nack payload %d bytes, below retry-after field", len(payload))
 		}
+		//rbsglint:allow hotpathalloc -- backpressure branch only; one error value per Nacked frame
 		be := &BackpressureError{
 			RetryAfter: time.Duration(binary.LittleEndian.Uint32(payload)) * time.Second,
 		}
-		if decodeBatchRespPayload(payload[4:], &c.resp) == 0 {
-			be.Resp = &c.resp
+		if decodeBatchRespPayload(payload[4:], resp) == 0 {
+			be.Resp = resp
 		}
-		return nil, be
+		return be
 	case frameErr:
+		//rbsglint:allow hotpathalloc -- protocol-reject branch only; never on the steady-state path
 		we, ok := decodeErrBody(body[wireHdrSize:])
 		if !ok {
-			return nil, fmt.Errorf("binary err frame payload failed decode")
+			return fmt.Errorf("binary err frame payload failed decode")
 		}
-		return nil, we
+		return we
 	default:
-		return nil, fmt.Errorf("binary response frame type %d unknown", body[1])
+		//rbsglint:allow hotpathalloc -- unknown-frame error path
+		return fmt.Errorf("binary response frame type %d unknown", body[1])
+	}
+}
+
+// RecvReadBatch reads the oldest outstanding read-batch response into
+// r. Nacks decode the partial read accounting into r and return a
+// *BackpressureError; Err frames return the typed *WireError.
+//
+//rbsglint:hotpath
+func (c *BinaryClient) RecvReadBatch(r *ReadBatchResponse) error {
+	body, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	if len(body) < wireHdrSize {
+		return fmt.Errorf("binary response body %d bytes, below header size", len(body))
+	}
+	if body[0] != wireVersion {
+		return fmt.Errorf("binary response version %d, client speaks %d", body[0], wireVersion)
+	}
+	switch body[1] {
+	case frameReadResp:
+		if code := decodeReadRespPayload(body[wireHdrSize:], r); code != 0 {
+			return fmt.Errorf("binary read response payload failed decode (code %d)", code)
+		}
+		return nil
+	case frameNack:
+		payload := body[wireHdrSize:]
+		if len(payload) < 4 {
+			return fmt.Errorf("binary nack payload %d bytes, below retry-after field", len(payload))
+		}
+		//rbsglint:allow hotpathalloc -- backpressure branch only; one error value per Nacked frame
+		be := &BackpressureError{
+			RetryAfter: time.Duration(binary.LittleEndian.Uint32(payload)) * time.Second,
+		}
+		if decodeReadRespPayload(payload[4:], r) == 0 {
+			be.ReadResp = r
+		}
+		return be
+	case frameErr:
+		//rbsglint:allow hotpathalloc -- protocol-reject branch only; never on the steady-state path
+		we, ok := decodeErrBody(body[wireHdrSize:])
+		if !ok {
+			return fmt.Errorf("binary err frame payload failed decode")
+		}
+		return we
+	default:
+		//rbsglint:allow hotpathalloc -- unknown-frame error path
+		return fmt.Errorf("binary read response frame type %d unknown", body[1])
+	}
+}
+
+// Batch sends one batch frame and blocks for its answer (lockstep).
+// The returned response is the client's own buffer, valid until the
+// next lockstep call.
+func (c *BinaryClient) Batch(ops []BatchOp) (*BatchResponse, error) {
+	if err := c.SendBatch(ops); err != nil {
+		return nil, err
+	}
+	if err := c.RecvBatch(&c.resp); err != nil {
+		return nil, err
+	}
+	return &c.resp, nil
+}
+
+// ReadBatch reads lines through the streaming read-batch frame
+// (lockstep): the response carries data and batch accounting but no
+// per-op latencies. Against a server that predates read frames it
+// falls back — transparently and stickily for this connection — to a
+// full BatchReq of reads, so callers get identical data either way
+// (the fallback just pays the fatter response body). The returned
+// response is the client's own buffer, valid until the next lockstep
+// call.
+func (c *BinaryClient) ReadBatch(lines []uint64) (*ReadBatchResponse, error) {
+	if !c.readFallback {
+		if err := c.SendReadBatch(lines); err != nil {
+			return nil, err
+		}
+		err := c.RecvReadBatch(&c.rresp)
+		if we, ok := err.(*WireError); ok && we.Code == wireErrMalformed {
+			// An old server answers an unknown frame type with a typed
+			// malformed-frame Err and keeps the connection: the designed
+			// signal to fall back to the frames it does speak.
+			c.readFallback = true
+		} else {
+			return &c.rresp, err
+		}
+	}
+	if cap(c.fallbackOps) < len(lines) {
+		c.fallbackOps = make([]BatchOp, 0, len(lines))
+	}
+	c.fallbackOps = c.fallbackOps[:0]
+	for _, l := range lines {
+		c.fallbackOps = append(c.fallbackOps, BatchOp{Line: l, Read: true})
+	}
+	resp, err := c.Batch(c.fallbackOps)
+	if be, ok := err.(*BackpressureError); ok && be.Resp != nil {
+		c.rresp = readRespFromBatch(resp)
+		be.Resp, be.ReadResp = nil, &c.rresp
+		return nil, be
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.rresp = readRespFromBatch(resp)
+	return &c.rresp, nil
+}
+
+// readRespFromBatch projects a full batch response onto the thin read
+// response shape (the fallback path's translation).
+func readRespFromBatch(r *BatchResponse) ReadBatchResponse {
+	return ReadBatchResponse{
+		Applied: r.Applied, Rejected: r.Rejected,
+		NsSum: r.NsSum, NsMax: r.NsMax,
+		Data: r.Data,
 	}
 }
 
 // readFrame reads one length-prefixed frame body into the client's
-// buffer.
+// receive buffer.
+//
+//rbsglint:hotpath
 func (c *BinaryClient) readFrame() ([]byte, error) {
 	if err := readFull(c.conn, c.hdr[:]); err != nil {
 		return nil, fmt.Errorf("binary read header: %w", err)
@@ -121,14 +297,14 @@ func (c *BinaryClient) readFrame() ([]byte, error) {
 	if n > wireMaxBody {
 		return nil, fmt.Errorf("binary response body %d bytes over limit %d", n, wireMaxBody)
 	}
-	if cap(c.buf) < int(n) {
-		c.buf = make([]byte, n)
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
 	}
-	c.buf = c.buf[:n]
-	if err := readFull(c.conn, c.buf); err != nil {
+	c.rbuf = c.rbuf[:n]
+	if err := readFull(c.conn, c.rbuf); err != nil {
 		return nil, fmt.Errorf("binary read body: %w", err)
 	}
-	return c.buf, nil
+	return c.rbuf, nil
 }
 
 // retryBatch is Batch with bounded backpressure retries — demand ops

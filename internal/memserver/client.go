@@ -42,6 +42,9 @@ type BackpressureError struct {
 	// Resp holds the partial batch accounting when the 429 answered a
 	// batch (nil for single ops).
 	Resp *BatchResponse
+	// ReadResp holds the partial accounting when a binary read-batch
+	// frame was Nacked (nil otherwise).
+	ReadResp *ReadBatchResponse
 }
 
 func (e *BackpressureError) Error() string {

@@ -144,6 +144,7 @@ type Server struct {
 	binFrames   atomic.Uint64 // frames processed on the binary listener
 	binRejects  atomic.Uint64 // frames rejected before execution (malformed, skewed, oversized, bad op)
 	binLineOps  atomic.Uint64 // line ops applied via the binary protocol
+	binReadOps  atomic.Uint64 // of those, reads served through streaming read-batch frames
 	jsonLineOps atomic.Uint64 // line ops applied via the JSON HTTP API
 }
 

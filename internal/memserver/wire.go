@@ -17,8 +17,23 @@ import (
 //	BatchReq  := u32 count | count × (u64 line | u8 flags | u8 content)
 //	BatchResp := u32 applied | u32 rejected | u64 nsSum | u64 nsMax |
 //	             u32 count | count × (u64 ns | u8 data)
-//	Nack      := u32 retryAfterSecs | <BatchResp payload>
+//	ReadReq   := u32 count | count × u64 line
+//	ReadResp  := u32 applied | u32 rejected | u64 nsSum | u64 nsMax |
+//	             u32 count | count × u8 data
+//	Nack      := u32 retryAfterSecs | <payload of the response the
+//	             request would have gotten: BatchResp for a BatchReq,
+//	             ReadResp for a ReadReq>
 //	Err       := u16 code | u16 msgLen | msg bytes
+//
+// ReadReq is the streaming read-mostly mode: a batch of reads whose
+// response carries the data bytes and the batch-level accounting
+// (applied/rejected/nsSum/nsMax) but skips the 8-byte per-op ns echo —
+// 1 byte per op instead of 9 on the response body, for read-dominated
+// streams that only need the data. The ops execute through the same
+// per-bank engine as a full batch, so what the banks do (and the
+// aggregate timing they emit) is identical; only the response encoding
+// is thinner (the differential test pins data equality against the
+// full-fat path).
 //
 // Versioning rules: the u32 length prefix and the leading version byte
 // never change meaning — they are the layer a server of any version can
@@ -27,7 +42,12 @@ import (
 // length-delimited body it cannot interpret and stays in sync).
 // Everything after the version byte is owned by that version; new op
 // kinds or fields mean a new version value, never a silent re-reading
-// of v1 bytes.
+// of v1 bytes. New frame *type* values are the one additive escape
+// hatch: a server that predates a type cannot misread it — it answers
+// a typed malformed-frame Err and keeps the connection — so a client
+// probing a new type gets an explicit signal to fall back to the
+// frames the server does speak (BinaryClient.ReadBatch falls back to a
+// full BatchReq of reads this way).
 //
 // Op records are fixed width (wireOpSize bytes), so the decoder indexes
 // the request payload directly — no reflection, no per-op allocation —
@@ -64,6 +84,12 @@ const (
 
 	// wireResSize is one fixed-width result record: u64 ns, u8 data.
 	wireResSize = 9
+
+	// wireReadOpSize is one read-batch op record: just the u64 line.
+	wireReadOpSize = 8
+
+	// wireMaxReadOps bounds the ops in one read-batch frame.
+	wireMaxReadOps = (wireMaxBody - wireHdrSize - 4) / wireReadOpSize
 )
 
 // Frame types.
@@ -72,6 +98,8 @@ const (
 	frameBatchResp = 0x02 // server → client: per-op latencies + accounting
 	frameNack      = 0x03 // server → client: backpressure (429 + Retry-After equivalent)
 	frameErr       = 0x04 // server → client: typed error
+	frameReadReq   = 0x05 // client → server: a batch of reads (streaming read-mostly mode)
+	frameReadResp  = 0x06 // server → client: data bytes + accounting, no per-op ns echo
 )
 
 // Err frame codes. The name table keeps client-surfaced errors
@@ -230,6 +258,93 @@ func appendErrBody(b []byte, code uint16, msg string) []byte {
 	b = binary.LittleEndian.AppendUint16(b, code)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(msg)))
 	return append(b, msg...)
+}
+
+// ReadBatchResponse answers a streaming read batch (ReadReq frame):
+// the batch-level accounting a BatchResponse carries, and the data
+// bytes aligned with the requested lines — but no per-op latency echo,
+// which is the mode's reason to exist (1 response byte per op instead
+// of 9). Rejected ops report zero data.
+type ReadBatchResponse struct {
+	Applied  int
+	Rejected int
+	NsSum    uint64
+	NsMax    uint64
+	Data     []uint8
+}
+
+// appendReadReqBody appends the body (version|type|payload) of a
+// read-batch request for lines.
+func appendReadReqBody(b []byte, version uint8, lines []uint64) []byte {
+	b = append(b, version, frameReadReq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(lines)))
+	for _, l := range lines {
+		b = binary.LittleEndian.AppendUint64(b, l)
+	}
+	return b
+}
+
+// decodeReadReqOps parses a ReadReq payload into read ops (appended to
+// ops[:0], capacity reused) so the batch engine runs them unchanged:
+// every decoded op has Read set and Data zero.
+//
+//rbsglint:hotpath
+func decodeReadReqOps(payload []byte, ops []BatchOp) ([]BatchOp, uint16) {
+	ops = ops[:0]
+	if len(payload) < 4 {
+		return ops, wireErrMalformed
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	if count == 0 {
+		return ops, wireErrEmpty
+	}
+	if uint64(count) > wireMaxReadOps {
+		return ops, wireErrMalformed
+	}
+	rest := payload[4:]
+	if uint64(len(rest)) != uint64(count)*wireReadOpSize {
+		return ops, wireErrMalformed
+	}
+	for off := 0; off < len(rest); off += wireReadOpSize {
+		ops = append(ops, BatchOp{
+			Line: binary.LittleEndian.Uint64(rest[off : off+wireReadOpSize]),
+			Read: true,
+		})
+	}
+	return ops, 0
+}
+
+// appendReadRespPayload appends the ReadResp payload for r: the
+// accounting header and the data bytes, no per-op ns.
+//
+//rbsglint:hotpath
+func appendReadRespPayload(b []byte, r *BatchResponse) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Applied))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Rejected))
+	b = binary.LittleEndian.AppendUint64(b, r.NsSum)
+	b = binary.LittleEndian.AppendUint64(b, r.NsMax)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Data)))
+	return append(b, r.Data...)
+}
+
+// decodeReadRespPayload parses a ReadResp (or the tail of a read Nack)
+// payload into r, reusing r's slice capacity.
+func decodeReadRespPayload(payload []byte, r *ReadBatchResponse) uint16 {
+	if len(payload) < 28 {
+		return wireErrMalformed
+	}
+	r.Applied = int(binary.LittleEndian.Uint32(payload))
+	r.Rejected = int(binary.LittleEndian.Uint32(payload[4:]))
+	r.NsSum = binary.LittleEndian.Uint64(payload[8:])
+	r.NsMax = binary.LittleEndian.Uint64(payload[16:])
+	count := binary.LittleEndian.Uint32(payload[24:])
+	rest := payload[28:]
+	if uint64(len(rest)) != uint64(count) {
+		return wireErrMalformed
+	}
+	r.Data = resizeZeroed(r.Data, int(count))
+	copy(r.Data, rest)
+	return 0
 }
 
 // decodeErrBody parses an Err frame payload.

@@ -1,0 +1,116 @@
+package memserver
+
+import "encoding/binary"
+
+// The exported face of the binary wire protocol (wire.go): what a
+// frontend that *speaks* the protocol — today internal/memrouter's
+// shard router — needs to parse requests and compose responses without
+// re-deriving the encoding. Everything here is a thin alias over the
+// unexported codecs the server and BinaryClient share, so there is
+// exactly one implementation of every frame shape in the tree; the
+// router cannot drift from the daemon.
+//
+// The surface is deliberately request/response-shaped rather than
+// byte-shaped: a caller decodes a request payload into typed ops and
+// appends a complete response *body* (version byte, type byte,
+// payload) that only needs the 4-byte length prefix a frame adds.
+
+// Wire framing constants.
+const (
+	// WireVersion is the protocol version this build speaks.
+	WireVersion = wireVersion
+	// WireHdrSize is the body prelude: version byte + type byte.
+	WireHdrSize = wireHdrSize
+	// WireMaxBody bounds one frame body; a larger length prefix is a
+	// hard reject that costs the connection.
+	WireMaxBody = wireMaxBody
+)
+
+// Frame type bytes (body[1]).
+const (
+	WireFrameBatchReq  = frameBatchReq
+	WireFrameBatchResp = frameBatchResp
+	WireFrameNack      = frameNack
+	WireFrameErr       = frameErr
+	WireFrameReadReq   = frameReadReq
+	WireFrameReadResp  = frameReadResp
+)
+
+// Err frame codes (see WireError).
+const (
+	WireErrVersion   = wireErrVersion
+	WireErrMalformed = wireErrMalformed
+	WireErrTooLarge  = wireErrTooLarge
+	WireErrBadOp     = wireErrBadOp
+	WireErrDraining  = wireErrDraining
+	WireErrEmpty     = wireErrEmpty
+)
+
+// WireNackRetryAfterSecs is the Retry-After value the server's own
+// Nack frames carry (the JSON API's Retry-After header equivalent).
+const WireNackRetryAfterSecs = nackRetryAfterSecs
+
+// AppendWireFrame wraps a finished body with its u32 length prefix.
+func AppendWireFrame(b, body []byte) []byte { return appendFrame(b, body) }
+
+// DecodeWireBatchReq parses a BatchReq payload (the body after the
+// version and type bytes) into ops, reusing ops' capacity. A non-zero
+// code is the Err code to answer with.
+//
+//rbsglint:hotpath
+func DecodeWireBatchReq(payload []byte, ops []BatchOp) ([]BatchOp, uint16) {
+	return decodeBatchReq(payload, ops)
+}
+
+// DecodeWireReadReq parses a ReadReq payload into read ops (Read set,
+// Data zero), reusing ops' capacity.
+//
+//rbsglint:hotpath
+func DecodeWireReadReq(payload []byte, ops []BatchOp) ([]BatchOp, uint16) {
+	return decodeReadReqOps(payload, ops)
+}
+
+// AppendWireBatchResp appends a complete BatchResp body for r.
+//
+//rbsglint:hotpath
+func AppendWireBatchResp(b []byte, r *BatchResponse) []byte {
+	b = append(b, wireVersion, frameBatchResp)
+	return appendBatchRespPayload(b, r)
+}
+
+// AppendWireReadResp appends a complete ReadResp body for r (data
+// bytes and accounting, no per-op ns echo).
+//
+//rbsglint:hotpath
+func AppendWireReadResp(b []byte, r *BatchResponse) []byte {
+	b = append(b, wireVersion, frameReadResp)
+	return appendReadRespPayload(b, r)
+}
+
+// AppendWireNack appends a complete Nack body: the retry-after seconds
+// followed by the partial BatchResp payload for r.
+//
+//rbsglint:hotpath
+func AppendWireNack(b []byte, retryAfterSecs uint32, r *BatchResponse) []byte {
+	b = append(b, wireVersion, frameNack)
+	b = binary.LittleEndian.AppendUint32(b, retryAfterSecs)
+	return appendBatchRespPayload(b, r)
+}
+
+// AppendWireReadNack appends a complete Nack body answering a ReadReq:
+// the retry-after seconds followed by the partial ReadResp payload.
+//
+//rbsglint:hotpath
+func AppendWireReadNack(b []byte, retryAfterSecs uint32, r *BatchResponse) []byte {
+	b = append(b, wireVersion, frameNack)
+	b = binary.LittleEndian.AppendUint32(b, retryAfterSecs)
+	return appendReadRespPayload(b, r)
+}
+
+// AppendWireErr appends a complete Err body. Use static message
+// strings so reject paths compose nothing.
+//
+//rbsglint:hotpath
+func AppendWireErr(b []byte, code uint16, msg string) []byte {
+	return appendErrBody(b, code, msg)
+}

@@ -15,24 +15,26 @@ if [ "${BENCHGATE_SKIP:-0}" = "1" ]; then
     exit 0
 fi
 
-baseline="${BENCH_BASELINE:-BENCH_9.json}"
-# The designated guards (see bench_test.go and
-# internal/memserver/bench_test.go "perf-gate guard benchmarks"): pure
-# mapping kernel, both per-access paths, the end-to-end Monte-Carlo
-# kernel, the exact tier's bulk-write and epoch fast-forward kernels,
-# the two /v1/batch service paths, and the two binary-protocol paths.
-# The batch pair is gated mostly for its allocs/op (exact match
-# required): the adaptive controller must add zero allocations over
-# the static scheme's 27-alloc path, and the binary frame/decode paths
-# must stay at zero allocs/op outright.
-guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward,BenchmarkMemserverBatchWrite,BenchmarkMemserverBatchWriteAdaptive,BenchmarkBinaryBatchWrite,BenchmarkBinaryDecodeFrame'
+baseline="${BENCH_BASELINE:-BENCH_10.json}"
+# The designated guards (see bench_test.go and the per-package
+# bench/clientbench files, "perf-gate guard benchmarks"): pure mapping
+# kernel, both per-access paths, the end-to-end Monte-Carlo kernel, the
+# exact tier's bulk-write and epoch fast-forward kernels, the two
+# /v1/batch service paths, the two binary-protocol paths, the lockstep
+# and pipelined wire clients (real loopback TCP), and the router in
+# front of 1 and 3 shards. The batch pair is gated mostly for its
+# allocs/op (exact match required): the adaptive controller must add
+# zero allocations over the static scheme's 27-alloc path, and the
+# binary frame/decode, client, and router paths must stay at zero
+# allocs/op outright.
+guards='BenchmarkFeistelMapTable,BenchmarkTranslateSecurityRBSG,BenchmarkControllerWrite,BenchmarkLifetimeRAAScaled,BenchmarkBankWriteN,BenchmarkExactEpochFastForward,BenchmarkMemserverBatchWrite,BenchmarkMemserverBatchWriteAdaptive,BenchmarkBinaryBatchWrite,BenchmarkBinaryDecodeFrame,BenchmarkBinaryClientLockstep,BenchmarkBinaryClientPipelined,BenchmarkRouterBatch1Shard,BenchmarkRouterBatch3Shards'
 regex="^($(echo "$guards" | tr ',' '|'))\$"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "$regex" -benchmem \
     -benchtime "${BENCH_TIME:-1s}" -count "${BENCH_COUNT:-3}" \
-    . ./internal/memserver/ | tee "$tmp"
+    . ./internal/memserver/ ./internal/memrouter/ | tee "$tmp"
 go run ./cmd/benchdiff -baseline "$baseline" -guard "$guards" "$tmp"
 
 # The binary protocol's reason to exist: on the same banks and batch
@@ -50,4 +52,48 @@ END {
     if (json <= 0 || bin <= 0) { print "bench-gate: FAIL: lines/s series missing for the batch benches"; exit 1 }
     printf "bench-gate: binary %.0f lines/s vs json %.0f lines/s (%.1fx)\n", bin, json, bin / json
     if (bin < 3 * json) { print "bench-gate: FAIL: binary batch path below 3x the JSON path"; exit 1 }
+}' "$tmp"
+
+# The distribution asserts need cores to scale onto: pipelining hides
+# round-trip latency only when client and server can overlap, and three
+# shards beat one only when the shard actors actually run in parallel.
+# On starved runners (this repo is developed on a 1-CPU box) both
+# ratios still get RECORDED via the baseline — the asserts skip LOUDLY
+# rather than fail on physics.
+cores="$(nproc 2>/dev/null || echo 1)"
+
+# Client pipelining: a 16-frame window must beat lockstep on ≥2 cores.
+# Single-core sanity floor either way: the windowed client must never
+# fall more than 15% behind lockstep — that would mean the window is
+# adding work, not hiding latency.
+awk -v cores="$cores" '
+$1 ~ /^BenchmarkBinaryClientLockstep(-[0-9]+)?$/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "lines/s" && $i + 0 > lock) lock = $i + 0
+}
+$1 ~ /^BenchmarkBinaryClientPipelined(-[0-9]+)?$/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "lines/s" && $i + 0 > pipe) pipe = $i + 0
+}
+END {
+    if (lock <= 0 || pipe <= 0) { print "bench-gate: FAIL: lines/s series missing for the client benches"; exit 1 }
+    printf "bench-gate: pipelined client %.0f lines/s vs lockstep %.0f lines/s (%.2fx, %d cores)\n", pipe, lock, pipe / lock, cores
+    if (pipe < 0.85 * lock) { print "bench-gate: FAIL: pipelined client below 0.85x lockstep — the window is adding overhead"; exit 1 }
+    if (cores < 2) { print "bench-gate: SKIPPED pipelined>lockstep assert: " cores " core(s), no overlap to exploit"; exit 0 }
+    if (pipe <= lock) { print "bench-gate: FAIL: pipelined client not faster than lockstep on a multi-core host"; exit 1 }
+}' "$tmp"
+
+# Router scaling: 3 shards must serve ≥2.5x the line-ops/s of 1 shard —
+# the tentpole claim — when the host has enough cores to run three
+# shard servers, the router, and the client concurrently (≥6).
+awk -v cores="$cores" '
+$1 ~ /^BenchmarkRouterBatch1Shard(-[0-9]+)?$/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "lines/s" && $i + 0 > one) one = $i + 0
+}
+$1 ~ /^BenchmarkRouterBatch3Shards(-[0-9]+)?$/ {
+    for (i = 1; i < NF; i++) if ($(i+1) == "lines/s" && $i + 0 > three) three = $i + 0
+}
+END {
+    if (one <= 0 || three <= 0) { print "bench-gate: FAIL: lines/s series missing for the router benches"; exit 1 }
+    printf "bench-gate: router 3 shards %.0f lines/s vs 1 shard %.0f lines/s (%.2fx, %d cores)\n", three, one, three / one, cores
+    if (cores < 6) { print "bench-gate: SKIPPED 3-shard>=2.5x assert: " cores " core(s), need >=6 to run the topology in parallel"; exit 0 }
+    if (three < 2.5 * one) { print "bench-gate: FAIL: 3-shard router below 2.5x the 1-shard throughput"; exit 1 }
 }' "$tmp"
